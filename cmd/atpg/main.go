@@ -1,0 +1,87 @@
+// Command atpg derives diagnosis test-sets for a golden/faulty netlist
+// pair: random bit-parallel simulation with a SAT-based
+// distinguishing-vector fallback (miter construction). Tests are written
+// one per line as "<vector> <output-name> <correct-value>", the triple
+// format of the paper's Definition 1.
+//
+//	atpg -golden spec.bench -faulty impl.bench -n 32 -out tests.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	diagnosis "repro"
+	"repro/internal/tgen"
+)
+
+func main() {
+	var (
+		goldenPath = flag.String("golden", "", "golden .bench netlist")
+		faultyPath = flag.String("faulty", "", "faulty .bench netlist")
+		n          = flag.Int("n", 16, "number of tests to derive")
+		seed       = flag.Int64("seed", 1, "random-simulation seed")
+		out        = flag.String("out", "", "output file (default: stdout)")
+		satOnly    = flag.Bool("sat", false, "skip random simulation, use the SAT miter directly")
+	)
+	flag.Parse()
+	if *goldenPath == "" || *faultyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*goldenPath, *faultyPath, *n, *seed, *out, *satOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(goldenPath, faultyPath string, n int, seed int64, out string, satOnly bool) error {
+	golden, err := diagnosis.LoadBench(goldenPath)
+	if err != nil {
+		return err
+	}
+	faulty, err := diagnosis.LoadBench(faultyPath)
+	if err != nil {
+		return err
+	}
+	var tests diagnosis.TestSet
+	if satOnly {
+		tests, err = tgen.ATPG(golden, faulty, tgen.ATPGOptions{Count: n})
+	} else {
+		tests, err = diagnosis.MakeTests(golden, faulty, diagnosis.TestGenOptions{Count: n, Seed: seed})
+	}
+	if err != nil {
+		return err
+	}
+	if bad := diagnosis.VerifyTests(golden, faulty, tests); bad >= 0 {
+		return fmt.Errorf("internal error: generated test %d is invalid", bad)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	for _, t := range tests {
+		for _, v := range t.Vector {
+			if v {
+				fmt.Fprint(w, "1")
+			} else {
+				fmt.Fprint(w, "0")
+			}
+		}
+		val := 0
+		if t.Want {
+			val = 1
+		}
+		fmt.Fprintf(w, " %s %d\n", golden.Gates[t.Output].Name, val)
+	}
+	fmt.Fprintf(os.Stderr, "atpg: %d tests over %d erroneous outputs\n", len(tests), len(tests.Outputs()))
+	return nil
+}

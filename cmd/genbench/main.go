@@ -1,0 +1,91 @@
+// Command genbench emits the synthetic ISCAS89-like benchmark suite as
+// .bench netlists, so the circuits used by the experiments can be
+// inspected or fed to external tools:
+//
+//	genbench -list
+//	genbench -name s1423x -out s1423x.bench
+//	genbench -all -dir benches/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	diagnosis "repro"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available circuits")
+		name  = flag.String("name", "", "circuit to emit")
+		out   = flag.String("out", "", "output file (default: stdout)")
+		all   = flag.Bool("all", false, "emit the whole suite")
+		dir   = flag.String("dir", ".", "output directory for -all")
+		paper = flag.Bool("paper-scale", false, "full-size analogs (s38417x at 22k gates)")
+	)
+	flag.Parse()
+	if err := run(*list, *name, *out, *all, *dir, *paper); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, name, out string, all bool, dir string, paper bool) error {
+	switch {
+	case list:
+		for _, spec := range gen.Suite() {
+			fmt.Printf("%-10s %5d gates, %4d inputs, %4d outputs\n",
+				spec.Name, spec.Gates, spec.Inputs, spec.Outputs)
+		}
+		return nil
+	case all:
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, spec := range gen.Suite() {
+			if err := emit(spec.Name, filepath.Join(dir, spec.Name+".bench"), paper); err != nil {
+				return err
+			}
+			fmt.Println("wrote", filepath.Join(dir, spec.Name+".bench"))
+		}
+		return nil
+	case name != "":
+		return emit(name, out, paper)
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -list, -name or -all")
+	}
+}
+
+func emit(name, out string, paper bool) error {
+	var (
+		c   *diagnosis.Circuit
+		err error
+	)
+	if paper {
+		spec, ok := gen.PaperScaleSpec(name)
+		if !ok {
+			return fmt.Errorf("unknown circuit %q", name)
+		}
+		c, err = gen.Generate(spec)
+	} else {
+		c, err = diagnosis.GenerateCircuit(name)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return circuit.WriteBench(w, c)
+}

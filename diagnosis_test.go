@@ -1,0 +1,200 @@
+package diagnosis_test
+
+// End-to-end tests of the public API, exercising the full debug flow a
+// downstream user would run: load/generate a circuit, inject an error,
+// derive failing tests, diagnose with all three engines, cross-check.
+
+import (
+	"strings"
+	"testing"
+
+	diagnosis "repro"
+)
+
+func pipeline(t *testing.T, name string, p int, m int, seed int64) (*diagnosis.Circuit, *diagnosis.Circuit, *diagnosis.FaultSet, diagnosis.TestSet) {
+	t.Helper()
+	golden, err := diagnosis.GenerateCircuit(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := int64(0); ; attempt++ {
+		if attempt == 10 {
+			t.Fatal("no detectable fault")
+		}
+		faulty, fs, err := diagnosis.Inject(golden, diagnosis.InjectOptions{Count: p, Seed: seed + attempt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tests, err := diagnosis.MakeTests(golden, faulty, diagnosis.TestGenOptions{Count: m, Seed: seed})
+		if err != nil {
+			continue
+		}
+		if bad := diagnosis.VerifyTests(golden, faulty, tests); bad >= 0 {
+			t.Fatalf("test %d invalid", bad)
+		}
+		return golden, faulty, fs, tests
+	}
+}
+
+func TestEndToEndThreeEngines(t *testing.T) {
+	_, faulty, fs, tests := pipeline(t, "s298x", 2, 8, 1)
+
+	bsim := diagnosis.DiagnoseBSIM(faulty, tests, diagnosis.PTOptions{})
+	if len(bsim.Union()) == 0 {
+		t.Fatal("BSIM marked nothing")
+	}
+
+	cov, err := diagnosis.DiagnoseCOV(faulty, tests, diagnosis.CovOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Solutions) == 0 {
+		t.Fatal("COV found nothing")
+	}
+
+	bsat, err := diagnosis.DiagnoseBSAT(faulty, tests, diagnosis.BSATOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bsat.Solutions) == 0 {
+		t.Fatal("BSAT found nothing")
+	}
+	for _, sol := range bsat.Solutions {
+		if !diagnosis.Validate(faulty, tests, sol.Gates) {
+			t.Fatalf("invalid BSAT solution %v", sol)
+		}
+	}
+	// The injected error set must dominate some solution.
+	sites := diagnosis.Correction{}
+	sites = diagnosis.Correction{Gates: fs.Sites()}
+	dominated := false
+	for _, sol := range bsat.Solutions {
+		if sol.SubsetOf(sites) {
+			dominated = true
+			break
+		}
+	}
+	if bsat.Complete && !dominated {
+		t.Fatalf("no solution within error sites %v", fs.Sites())
+	}
+
+	// Quality metrics are computable.
+	q := diagnosis.MeasureSolutions(faulty, &bsat.SolutionSet, fs.Sites())
+	if q.NumSolutions != len(bsat.Solutions) {
+		t.Fatal("metrics mismatch")
+	}
+}
+
+func TestHybridMatchesBSAT(t *testing.T) {
+	_, faulty, _, tests := pipeline(t, "s298x", 1, 6, 3)
+	plain, err := diagnosis.DiagnoseBSAT(faulty, tests, diagnosis.BSATOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, bsim, err := diagnosis.DiagnoseHybrid(faulty, tests, diagnosis.BSATOptions{K: 1}, diagnosis.PTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsim == nil {
+		t.Fatal("hybrid lost the BSIM result")
+	}
+	if len(plain.Solutions) != len(hyb.Solutions) {
+		t.Fatalf("hybrid changed the solution count: %d vs %d", len(hyb.Solutions), len(plain.Solutions))
+	}
+}
+
+func TestRepairCoverPublic(t *testing.T) {
+	_, faulty, _, tests := pipeline(t, "s298x", 1, 6, 5)
+	cov, err := diagnosis.DiagnoseCOV(faulty, tests, diagnosis.CovOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := diagnosis.RepairCover(faulty, tests, cov, diagnosis.BSATOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Found && !diagnosis.Validate(faulty, tests, rep.Correction.Gates) {
+		t.Fatalf("repair returned invalid correction %v", rep.Correction)
+	}
+}
+
+func TestBenchRoundTripPublic(t *testing.T) {
+	golden, err := diagnosis.GenerateCircuit("s298x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := diagnosis.WriteBench(&sb, golden); err != nil {
+		t.Fatal(err)
+	}
+	back, err := diagnosis.ParseBench("back", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != golden.NumGates() {
+		t.Fatal("round trip changed the circuit")
+	}
+	// Same simulation behaviour on a probe vector.
+	vec := make([]bool, len(golden.Inputs))
+	for i := range vec {
+		vec[i] = i%2 == 0
+	}
+	a := diagnosis.Simulate(golden, vec)
+	b := diagnosis.Simulate(back, vec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("behaviour changed after round trip")
+		}
+	}
+}
+
+func TestBuilderPublic(t *testing.T) {
+	b := diagnosis.NewBuilder("pub")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.Gate(diagnosis.Xor, "g", x, y)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := diagnosis.Simulate(c, []bool{true, false})
+	if !outs[0] {
+		t.Fatal("XOR(1,0) != 1")
+	}
+	// Builders must reject incomplete circuits.
+	b2 := diagnosis.NewBuilder("empty")
+	b2.Input("x")
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("expected error: no outputs")
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := diagnosis.BenchmarkNames()
+	if len(names) < 8 {
+		t.Fatalf("suite too small: %v", names)
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"s1423x", "s6669x", "s38417x"} {
+		if !found[want] {
+			t.Fatalf("missing paper analog %s", want)
+		}
+	}
+}
+
+func TestEssentialPublic(t *testing.T) {
+	_, faulty, _, tests := pipeline(t, "s298x", 1, 4, 9)
+	bsat, err := diagnosis.DiagnoseBSAT(faulty, tests, diagnosis.BSATOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range bsat.Solutions {
+		if !diagnosis.Essential(faulty, tests, sol.Gates) {
+			t.Fatalf("non-essential solution %v", sol)
+		}
+	}
+}

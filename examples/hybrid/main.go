@@ -1,0 +1,90 @@
+// Hybrid diagnosis: the future-work direction the paper sketches in
+// Section 6, implemented both ways:
+//
+//  1. Steered search — path-trace mark counts M(g) bump the SAT solver's
+//     VSIDS activity for the corresponding select lines, so the solver
+//     branches on simulation-suspected gates first. Solution space is
+//     provably unchanged; only the amount of search work moves.
+//
+//  2. Validate-and-repair — set-covering solutions are checked by exact
+//     effect analysis, and an invalid initial correction is repaired
+//     into a valid one with SAT.
+//
+//     go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	diagnosis "repro"
+)
+
+func main() {
+	golden, err := diagnosis.GenerateCircuit("s838x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty, fs, err := diagnosis.Inject(golden, diagnosis.InjectOptions{Count: 2, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tests, err := diagnosis.MakeTests(golden, faulty, diagnosis.TestGenOptions{Count: 16, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %v\ninjected %v\n%d failing tests\n\n", faulty, fs, len(tests))
+
+	opts := diagnosis.BSATOptions{K: 2, MaxSolutions: 500}
+
+	plain, err := diagnosis.DiagnoseBSAT(faulty, tests, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain BSAT : %4d solutions, %8d decisions, %6d conflicts, %v\n",
+		len(plain.Solutions), plain.Stats.Decisions, plain.Stats.Conflicts, plain.Timings.All)
+
+	steered, _, err := diagnosis.DiagnoseHybrid(faulty, tests, opts, diagnosis.PTOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid BSAT: %4d solutions, %8d decisions, %6d conflicts, %v\n",
+		len(steered.Solutions), steered.Stats.Decisions, steered.Stats.Conflicts, steered.Timings.All)
+
+	same := len(plain.Solutions) == len(steered.Solutions)
+	fmt.Printf("same solution count: %v (steering may only reorder the search)\n\n", same)
+
+	// Validate-and-repair on the covering solutions.
+	cov, err := diagnosis.DiagnoseCOV(faulty, tests, diagnosis.CovOptions{K: 2, MaxSolutions: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	valid := 0
+	for _, s := range cov.Solutions {
+		if diagnosis.Validate(faulty, tests, s.Gates) {
+			valid++
+		}
+	}
+	fmt.Printf("COV proposed %d covers; %d are valid corrections (%.0f%%)\n",
+		len(cov.Solutions), valid, 100*float64(valid)/float64(len(cov.Solutions)))
+
+	rep, err := diagnosis.RepairCover(faulty, tests, cov, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Found {
+		names := make([]string, len(rep.Correction.Gates))
+		for i, g := range rep.Correction.Gates {
+			names[i] = faulty.Gates[g].Name
+		}
+		how := "validated as-is"
+		if rep.Repaired {
+			how = "repaired by SAT"
+		}
+		fmt.Printf("first valid correction via hybrid flow: {%s} (%s, %v)\n",
+			strings.Join(names, ", "), how, rep.Elapsed)
+	} else {
+		fmt.Println("hybrid flow found no valid correction within bounds")
+	}
+}

@@ -1,0 +1,236 @@
+package circuit
+
+// Structural analyses backing the diagnosis algorithms: levels, cones,
+// fanout-free regions, dominators and distance-to-gate metrics.
+
+// Levels returns, per gate, the longest distance (in gates) from any
+// primary input. Inputs are level 0.
+func (c *Circuit) Levels() []int {
+	lv := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		max := -1
+		for _, f := range c.Gates[i].Fanin {
+			if lv[f] > max {
+				max = lv[f]
+			}
+		}
+		lv[i] = max + 1
+	}
+	return lv
+}
+
+// FaninCone returns the set (as a gate-indexed bool slice) of gates with a
+// path to root, including root itself.
+func (c *Circuit) FaninCone(root int) []bool {
+	in := make([]bool, len(c.Gates))
+	stack := []int{root}
+	in[root] = true
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Gates[g].Fanin {
+			if !in[f] {
+				in[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return in
+}
+
+// FanoutCone returns the set of gates reachable from root, including root.
+func (c *Circuit) FanoutCone(root int) []bool {
+	out := make([]bool, len(c.Gates))
+	stack := []int{root}
+	out[root] = true
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.Gates[g].Fanout {
+			if !out[f] {
+				out[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return out
+}
+
+// Distances returns, per gate, the length (in edges) of a shortest
+// undirected path in the gate connection graph to any gate in from; gates
+// in from have distance 0 and unreachable gates have distance -1. This is
+// the "distance to the nearest error" metric of Table 3.
+func (c *Circuit) Distances(from []int) []int {
+	dist := make([]int, len(c.Gates))
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(from))
+	for _, g := range from {
+		if g >= 0 && g < len(c.Gates) && dist[g] == -1 {
+			dist[g] = 0
+			queue = append(queue, g)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		g := queue[head]
+		d := dist[g] + 1
+		for _, n := range c.Gates[g].Fanin {
+			if dist[n] == -1 {
+				dist[n] = d
+				queue = append(queue, n)
+			}
+		}
+		for _, n := range c.Gates[g].Fanout {
+			if dist[n] == -1 {
+				dist[n] = d
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// FFRRoots returns, per gate, the root of its fanout-free region: the
+// first gate reached by following single-fanout edges forward. A gate with
+// fanout count != 1, or whose single fanout would leave the circuit, is
+// its own root, as is any observed output. FFR roots are the coarse
+// correction sites used by the dominator-based first pass of the advanced
+// SAT approach (Section 2.3 of the paper): every path from a gate inside
+// the region to any output passes through the region's root.
+func (c *Circuit) FFRRoots() []int {
+	root := make([]int, len(c.Gates))
+	obs := make([]bool, len(c.Gates))
+	for _, o := range c.Outputs {
+		obs[o] = true
+	}
+	// Gates are in topological order, so a reverse sweep sees each gate's
+	// fanout root before the gate itself.
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := &c.Gates[i]
+		if obs[i] || len(g.Fanout) != 1 {
+			root[i] = i
+			continue
+		}
+		root[i] = root[g.Fanout[0]]
+	}
+	return root
+}
+
+// FFRMembers groups gates by their fanout-free-region root.
+func (c *Circuit) FFRMembers() map[int][]int {
+	roots := c.FFRRoots()
+	m := make(map[int][]int)
+	for g, r := range roots {
+		m[r] = append(m[r], g)
+	}
+	return m
+}
+
+// Dominators computes, per gate, the immediate dominator on all paths
+// toward the observed outputs: the unique nearest gate (other than the
+// gate itself) through which every gate-to-output path passes, or -1 if
+// the gate reaches outputs through structurally independent paths (its
+// only common dominator is the virtual sink) or reaches no output at all.
+//
+// This is the output-side dominator relation the advanced SAT-based
+// approach uses to prune correction sites. It is computed with the
+// classic iterative intersection scheme over the reverse graph, with a
+// virtual sink collecting all outputs.
+func (c *Circuit) Dominators() []int {
+	n := len(c.Gates)
+	const sink = -2 // virtual sink; exported as -1 ("no proper dominator")
+	idom := make([]int, n)
+	reaches := make([]bool, n)
+	for _, o := range c.Outputs {
+		reaches[o] = true
+	}
+	for i := n - 1; i >= 0; i-- {
+		if reaches[i] {
+			continue
+		}
+		for _, f := range c.Gates[i].Fanout {
+			if reaches[f] {
+				reaches[i] = true
+				break
+			}
+		}
+	}
+	// Process in reverse topological order; fanouts (successors toward the
+	// sink) are processed before the gate, so one sweep suffices on a DAG.
+	order := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if reaches[i] {
+			order = append(order, i)
+		}
+	}
+	pos := make([]int, n) // topological position for intersection walks
+	for i := range pos {
+		pos[i] = i
+	}
+	for i := range idom {
+		idom[i] = -1
+	}
+	intersect := func(a, b int) int {
+		// Walk the two dominator chains (toward larger IDs / the sink)
+		// until they meet. sink dominates everything.
+		for a != b {
+			if a == sink || b == sink {
+				return sink
+			}
+			if pos[a] < pos[b] {
+				a = idomOrSink(idom, a)
+			} else {
+				b = idomOrSink(idom, b)
+			}
+		}
+		return a
+	}
+	for _, g := range order {
+		d := -1 // unset
+		if c.IsOutput(g) {
+			d = sink
+		}
+		for _, f := range c.Gates[g].Fanout {
+			if !reaches[f] {
+				continue
+			}
+			if d == -1 {
+				d = f
+			} else {
+				d = intersect(d, f)
+			}
+		}
+		if d == -1 {
+			d = sink // isolated output (already handled) or unreachable
+		}
+		idom[g] = d
+	}
+	for i := range idom {
+		if idom[i] == sink || !reaches[i] {
+			idom[i] = -1
+		}
+	}
+	return idom
+}
+
+func idomOrSink(idom []int, g int) int {
+	d := idom[g]
+	if d == -1 {
+		return -2
+	}
+	return d
+}
+
+// CheckTopological verifies the structural invariant that every gate's
+// fanins precede it, returning the first violating gate ID or -1.
+func (c *Circuit) CheckTopological() int {
+	for i := range c.Gates {
+		for _, f := range c.Gates[i].Fanin {
+			if f >= i {
+				return i
+			}
+		}
+	}
+	return -1
+}

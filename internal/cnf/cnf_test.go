@@ -1,0 +1,336 @@
+package cnf
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// TestGateEncodingsExhaustive checks every gate kind at arities 1-3
+// against the truth table: the CNF with inputs fixed must force the
+// output variable to the function value.
+func TestGateEncodingsExhaustive(t *testing.T) {
+	kinds := []logic.Kind{logic.Buf, logic.Not, logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor}
+	for _, k := range kinds {
+		maxAr := 3
+		if k == logic.Buf || k == logic.Not {
+			maxAr = 1
+		}
+		for ar := 1; ar <= maxAr; ar++ {
+			for m := 0; m < 1<<uint(ar); m++ {
+				s := sat.New()
+				fan := make([]sat.Lit, ar)
+				in := make([]bool, ar)
+				for i := range fan {
+					fan[i] = sat.PosLit(s.NewVar())
+					in[i] = m>>uint(i)&1 == 1
+				}
+				out := sat.PosLit(s.NewVar())
+				g := &circuit.Gate{Kind: k}
+				EncodeGate(s, g, out, fan)
+				for i, f := range fan {
+					if in[i] {
+						s.AddClause(f)
+					} else {
+						s.AddClause(f.Neg())
+					}
+				}
+				if st := s.Solve(); st != sat.StatusSat {
+					t.Fatalf("%v/%d minterm %d: %v", k, ar, m, st)
+				}
+				want := logic.EvalBit(k, in)
+				if got := s.ValueLit(out) == sat.LTrue; got != want {
+					t.Fatalf("%v/%d minterm %d: CNF %v, truth %v", k, ar, m, got, want)
+				}
+				// The opposite output value must be unsatisfiable.
+				s.AddClause(sat.MkLit(out.Var(), want))
+				if st := s.Solve(); st != sat.StatusUnsat {
+					t.Fatalf("%v/%d minterm %d: output not forced", k, ar, m)
+				}
+			}
+		}
+	}
+}
+
+func TestConstAndTableEncodings(t *testing.T) {
+	s := sat.New()
+	out0 := sat.PosLit(s.NewVar())
+	out1 := sat.PosLit(s.NewVar())
+	EncodeGate(s, &circuit.Gate{Kind: logic.Const0}, out0, nil)
+	EncodeGate(s, &circuit.Gate{Kind: logic.Const1}, out1, nil)
+	if s.Solve() != sat.StatusSat || s.ValueLit(out0) != sat.LFalse || s.ValueLit(out1) != sat.LTrue {
+		t.Fatal("const encodings wrong")
+	}
+
+	// Random 3-input table, all minterms.
+	rng := rand.New(rand.NewSource(4))
+	tab := logic.NewTable(3)
+	for m := 0; m < 8; m++ {
+		tab.Set(m, rng.Intn(2) == 1)
+	}
+	for m := 0; m < 8; m++ {
+		s := sat.New()
+		fan := []sat.Lit{sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar())}
+		out := sat.PosLit(s.NewVar())
+		EncodeGate(s, &circuit.Gate{Kind: logic.TableKind, Table: tab}, out, fan)
+		for i, f := range fan {
+			if m>>uint(i)&1 == 1 {
+				s.AddClause(f)
+			} else {
+				s.AddClause(f.Neg())
+			}
+		}
+		if s.Solve() != sat.StatusSat {
+			t.Fatalf("minterm %d unsat", m)
+		}
+		if got := s.ValueLit(out) == sat.LTrue; got != tab.Get(m) {
+			t.Fatalf("minterm %d: got %v want %v", m, got, tab.Get(m))
+		}
+	}
+}
+
+// TestEncodeCopyMatchesSimulation: for random circuits and vectors, the
+// Tseitin copy with input units must be satisfiable with every gate
+// variable equal to the simulated value.
+func TestEncodeCopyMatchesSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := gen.Generate(gen.Spec{Name: "enc", Inputs: 6, Outputs: 3, Gates: 35, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a))
+		vec := make([]bool, len(c.Inputs))
+		for i := range vec {
+			vec[i] = rng.Intn(2) == 1
+		}
+		s := sat.New()
+		vars := EncodeCopy(s, c)
+		for pos, id := range c.Inputs {
+			s.AddClause(sat.MkLit(vars[id], !vec[pos]))
+		}
+		if s.Solve() != sat.StatusSat {
+			t.Logf("seed %d: UNSAT", seed)
+			return false
+		}
+		simul := sim.New(c)
+		simul.RunVector(vec)
+		for g := range c.Gates {
+			want := simul.OutputBit(g)
+			if got := s.Value(vars[g]) == sat.LTrue; got != want {
+				t.Logf("seed %d gate %d: CNF %v sim %v", seed, g, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeMuxSemantics(t *testing.T) {
+	for m := 0; m < 8; m++ {
+		s := sat.New()
+		y := sat.PosLit(s.NewVar())
+		sel := sat.PosLit(s.NewVar())
+		c := sat.PosLit(s.NewVar())
+		z := sat.PosLit(s.NewVar())
+		EncodeMux(s, y, sel, c, z)
+		selV, cV, zV := m&1 == 1, m&2 == 2, m&4 == 4
+		unit := func(l sat.Lit, v bool) {
+			if v {
+				s.AddClause(l)
+			} else {
+				s.AddClause(l.Neg())
+			}
+		}
+		unit(sel, selV)
+		unit(c, cV)
+		unit(z, zV)
+		if s.Solve() != sat.StatusSat {
+			t.Fatalf("m=%d unsat", m)
+		}
+		want := zV
+		if selV {
+			want = cV
+		}
+		if got := s.ValueLit(y) == sat.LTrue; got != want {
+			t.Fatalf("m=%d: y=%v want %v", m, got, want)
+		}
+	}
+}
+
+// popLadderCheck verifies a ladder against direct popcounts for every
+// assignment of n inputs.
+func popLadderCheck(t *testing.T, enc CardEncoding, n, maxBound int) {
+	t.Helper()
+	for m := 0; m < 1<<uint(n); m++ {
+		for bound := 0; bound <= maxBound; bound++ {
+			s := sat.New()
+			lits := make([]sat.Lit, n)
+			for i := range lits {
+				lits[i] = sat.PosLit(s.NewVar())
+			}
+			ladder := AddLadder(s, lits, maxBound, enc)
+			for i, l := range lits {
+				if m>>uint(i)&1 == 1 {
+					s.AddClause(l)
+				} else {
+					s.AddClause(l.Neg())
+				}
+			}
+			var assumps []sat.Lit
+			if a := ladder.AtMost(bound); a != sat.LitUndef {
+				assumps = append(assumps, a)
+			}
+			st := s.Solve(assumps...)
+			want := sat.StatusSat
+			if bits.OnesCount(uint(m)) > bound {
+				want = sat.StatusUnsat
+			}
+			if st != want {
+				t.Fatalf("%v n=%d m=%b bound=%d: got %v want %v", enc, n, m, bound, st, want)
+			}
+		}
+	}
+}
+
+func TestSeqCounterExhaustive(t *testing.T) {
+	popLadderCheck(t, SeqCounter, 5, 4)
+}
+
+func TestTotalizerExhaustive(t *testing.T) {
+	popLadderCheck(t, Totalizer, 5, 4)
+}
+
+func TestPairwiseExhaustive(t *testing.T) {
+	popLadderCheck(t, Pairwise, 5, 2)
+}
+
+func TestLadderEdgeCases(t *testing.T) {
+	s := sat.New()
+	// Empty input set.
+	l := AddLadder(s, nil, 3, SeqCounter)
+	if l.AtMost(0) != sat.LitUndef {
+		t.Fatal("empty ladder should not constrain")
+	}
+	// Bound >= n needs no constraint.
+	lits := []sat.Lit{sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar())}
+	l2 := AddLadder(s, lits, 5, SeqCounter)
+	if l2.AtMost(2) != sat.LitUndef || l2.AtMost(7) != sat.LitUndef {
+		t.Fatal("bound >= n should be unconstrained")
+	}
+	if l2.AtMost(1) == sat.LitUndef {
+		t.Fatal("bound 1 of 2 must constrain")
+	}
+}
+
+func TestAtMostDirect(t *testing.T) {
+	s := sat.New()
+	lits := []sat.Lit{sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar())}
+	AtMostDirect(s, lits)
+	s.AddClause(lits[0])
+	s.AddClause(lits[1])
+	if s.Solve() != sat.StatusUnsat {
+		t.Fatal("two selected under at-most-one")
+	}
+}
+
+// TestBuildDiagInstanceSize verifies the Θ(|I|·m) scaling claim of
+// Table 1: variables grow linearly in both circuit size and test count.
+func TestBuildDiagInstanceSize(t *testing.T) {
+	c, err := gen.Generate(gen.Spec{Name: "sz", Inputs: 8, Outputs: 4, Gates: 80, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkTests := func(m int) circuit.TestSet {
+		var ts circuit.TestSet
+		for i := 0; i < m; i++ {
+			vec := make([]bool, len(c.Inputs))
+			ts = append(ts, circuit.Test{Vector: vec, Output: c.Outputs[i%len(c.Outputs)], Want: true})
+		}
+		return ts
+	}
+	v1, _ := BuildDiag(c, mkTests(2), DiagOptions{MaxK: 2}).Size()
+	v2, _ := BuildDiag(c, mkTests(4), DiagOptions{MaxK: 2}).Size()
+	v4, _ := BuildDiag(c, mkTests(8), DiagOptions{MaxK: 2}).Size()
+	// Doubling m should roughly double the copy variables (selector and
+	// ladder variables are shared, so growth is slightly sublinear).
+	g1, g2 := v2-v1, v4-v2
+	if g2 < g1*18/10 || g2 > g1*22/10 {
+		t.Fatalf("variable growth not linear in m: %d, %d, %d (deltas %d, %d)", v1, v2, v4, g1, g2)
+	}
+}
+
+func TestBuildDiagConeOnlyShrinks(t *testing.T) {
+	c, err := gen.Generate(gen.Spec{Name: "cone", Inputs: 10, Outputs: 6, Gates: 120, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]bool, len(c.Inputs))
+	tests := circuit.TestSet{{Vector: vec, Output: c.Outputs[0], Want: true}}
+	full, _ := BuildDiag(c, tests, DiagOptions{MaxK: 1}).Size()
+	cone, _ := BuildDiag(c, tests, DiagOptions{MaxK: 1, ConeOnly: true}).Size()
+	if cone >= full {
+		t.Fatalf("cone restriction did not shrink: %d vs %d", cone, full)
+	}
+}
+
+func TestBuildDiagGoldenConstrainsAllOutputs(t *testing.T) {
+	// With a golden reference, a model must reproduce the golden values
+	// on every output, not only the erroneous one.
+	golden, err := gen.Generate(gen.Spec{Name: "g", Inputs: 5, Outputs: 3, Gates: 30, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []bool{true, false, true, false, true}
+	outs := sim.Eval(golden, vec)
+	// "Faulty" = golden here; want an impossible value at output 0 to
+	// force a correction; other outputs must stay pinned.
+	tests := circuit.TestSet{{Vector: vec, Output: golden.Outputs[0], Want: !outs[0]}}
+	inst := BuildDiag(golden, tests, DiagOptions{MaxK: 1, Golden: golden})
+	st := inst.Solver.Solve(inst.AtMost(1)...)
+	if st != sat.StatusSat {
+		t.Fatalf("no single-gate correction found: %v", st)
+	}
+	for i, o := range golden.Outputs {
+		if i == 0 {
+			continue
+		}
+		v := inst.GateVars[0][o]
+		if got := inst.Solver.Value(v) == sat.LTrue; got != outs[i] {
+			t.Fatalf("output %d drifted under correction: got %v want %v", i, got, outs[i])
+		}
+	}
+}
+
+func TestSelLitLookup(t *testing.T) {
+	c, err := gen.Generate(gen.Spec{Name: "sel", Inputs: 4, Outputs: 2, Gates: 12, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]bool, len(c.Inputs))
+	tests := circuit.TestSet{{Vector: vec, Output: c.Outputs[0], Want: true}}
+	inst := BuildDiag(c, tests, DiagOptions{MaxK: 1})
+	for _, g := range c.InternalGates() {
+		if _, ok := inst.SelLit(g); !ok {
+			t.Fatalf("no select for internal gate %d", g)
+		}
+	}
+	for _, g := range c.Inputs {
+		if _, ok := inst.SelLit(g); ok {
+			t.Fatalf("select exists for input %d", g)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestAdvSimOnFig5a(t *testing.T) {
+	// The advanced simulation-based approach performs effect analysis, so
+	// on the Lemma 2 circuit it returns only the valid single-gate fixes
+	// {A} and {D} — never the bogus cover {B}.
+	c, test, names := fig5a(t)
+	tests := circuit.TestSet{test}
+	res, err := AdvSimDiagnose(c, tests, AdvSimOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions %v, want {A} and {D}", res.Solutions)
+	}
+	for _, want := range []string{"A", "D"} {
+		if !res.ContainsKey(NewCorrection([]int{names[want]})) {
+			t.Fatalf("missing {%s}: %v", want, res.Solutions)
+		}
+	}
+	if res.ContainsKey(NewCorrection([]int{names["B"]})) {
+		t.Fatal("invalid {B} returned")
+	}
+}
+
+func TestAdvSimMissesOffPathCorrections(t *testing.T) {
+	// On the Lemma 4 circuit, {A,B} is valid but B is off the traced
+	// paths: the advanced simulation-based approach (like COV) cannot
+	// find it, while it does find {E}. This is exactly the candidate-pool
+	// limitation Table 1 ascribes to the simulation side.
+	c, test, names := fig5b(t)
+	tests := circuit.TestSet{test}
+	res, err := AdvSimDiagnose(c, tests, AdvSimOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContainsKey(NewCorrection([]int{names["E"]})) {
+		t.Fatalf("missing {E}: %v", res.Solutions)
+	}
+	ab := NewCorrection(gateSet(names, "A", "B"))
+	if res.ContainsKey(ab) {
+		t.Fatalf("found off-path correction %v (B is never marked)", ab)
+	}
+}
+
+// TestAdvSimSubsetOfBSATProperty: every advanced-simulation solution is
+// valid, essential and of size <= k, hence a member of BSAT's complete
+// solution list.
+func TestAdvSimSubsetOfBSATProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sc := makeScenario(t, seed%5000, 1+int(abs64(seed)%2), 4)
+		if sc == nil {
+			return true
+		}
+		adv, err := AdvSimDiagnose(sc.faulty, sc.tests, AdvSimOptions{K: sc.k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsat, err := BSAT(sc.faulty, sc.tests, BSATOptions{K: sc.k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bsat.Complete {
+			return true
+		}
+		for _, sol := range adv.Solutions {
+			if !bsat.ContainsKey(sol) {
+				t.Logf("seed %d: advsim %v not in BSAT %v", seed, sol, bsat.Solutions)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 6
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvSimRetraceStillSound: the retracing variant refines the pool
+// but must keep returning only valid corrections.
+func TestAdvSimRetraceStillSound(t *testing.T) {
+	f := func(seed int64) bool {
+		sc := makeScenario(t, seed%5000, 2, 4)
+		if sc == nil {
+			return true
+		}
+		adv, err := AdvSimDiagnose(sc.faulty, sc.tests, AdvSimOptions{K: 2, Retrace: true, MaxSolutions: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sol := range adv.Solutions {
+			if !Validate(sc.faulty, sc.tests, sol.Gates) {
+				t.Logf("seed %d: invalid %v", seed, sol)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvSimOptionsValidation(t *testing.T) {
+	c, test, _ := fig5a(t)
+	if _, err := AdvSimDiagnose(c, circuit.TestSet{test}, AdvSimOptions{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := AdvSimDiagnose(c, nil, AdvSimOptions{K: 1}); err == nil {
+		t.Fatal("empty tests accepted")
+	}
+}
+
+func TestAdvSimMaxSolutionsCap(t *testing.T) {
+	c, test, _ := fig5a(t)
+	res, err := AdvSimDiagnose(c, circuit.TestSet{test}, AdvSimOptions{K: 1, MaxSolutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Complete {
+		t.Fatalf("cap broken: %d solutions complete=%v", len(res.Solutions), res.Complete)
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// BSATOptions configures BasicSATDiagnose and its advanced variants.
+type BSATOptions struct {
+	K int // maximum correction size (required)
+
+	// Candidates restricts multiplexer insertion (nil = every internal
+	// gate, the basic approach).
+	Candidates []int
+
+	// Groups, with GroupLabels, makes several gate instances share one
+	// select line (time-frame-expanded sequential diagnosis); see
+	// cnf.DiagOptions. Overrides Candidates.
+	Groups      [][]int
+	GroupLabels []int
+
+	// Encoding selects the cardinality encoding.
+	Encoding cnf.CardEncoding
+
+	// ForceZero adds the advanced clauses pinning unselected correction
+	// inputs to 0 (Section 2.3's first heuristic).
+	ForceZero bool
+
+	// ConeOnly restricts each test copy to the erroneous output's fanin
+	// cone (instance-size heuristic; solution space unchanged).
+	ConeOnly bool
+
+	// Golden, when set, constrains all outputs of every copy to the
+	// specification values, not only the erroneous one.
+	Golden *circuit.Circuit
+
+	// MaxSolutions caps total enumerated corrections (0 = unlimited).
+	MaxSolutions int
+
+	// MaxConflicts is the per-Solve conflict budget (0 = unlimited).
+	MaxConflicts int64
+
+	// Timeout bounds the whole enumeration (0 = unlimited).
+	Timeout time.Duration
+
+	// Steer, when non-nil, is applied to the solver after instance
+	// construction — the hook the hybrid approach uses to tune decision
+	// heuristics from simulation results (Section 6).
+	Steer func(inst *cnf.Instance)
+}
+
+// BSATResult is the outcome of BasicSATDiagnose.
+type BSATResult struct {
+	SolutionSet
+	Timings Timings
+	Vars    int // SAT instance size (Θ(|I|·m) per Table 1)
+	Clauses int
+	Stats   sat.Stats
+	inst    *cnf.Instance
+}
+
+// BSAT implements BasicSATDiagnose (Figure 3): build the instance F —
+// one constrained circuit copy per test, correction multiplexers with
+// select lines shared across copies, a cardinality ladder — then for
+// limits i = 1..K enumerate all solutions, adding a blocking clause per
+// solution. Every returned correction is valid (Lemma 1) and contains
+// only essential candidates (Lemma 3), provided enumeration completed
+// within the budgets (Complete reports this).
+func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATResult, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: BSAT requires K >= 1, got %d", opts.K)
+	}
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("core: BSAT requires a non-empty test-set")
+	}
+	inst := cnf.BuildDiag(c, tests, cnf.DiagOptions{
+		Candidates:  opts.Candidates,
+		Groups:      opts.Groups,
+		GroupLabels: opts.GroupLabels,
+		MaxK:        opts.K,
+		Encoding:    opts.Encoding,
+		ForceZero:   opts.ForceZero,
+		ConeOnly:    opts.ConeOnly,
+		Golden:      opts.Golden,
+	})
+	if opts.Steer != nil {
+		opts.Steer(inst)
+	}
+	res := &BSATResult{inst: inst}
+	res.Timings.CNF = inst.BuildTime
+	res.Vars, res.Clauses = inst.Size()
+
+	solver := inst.Solver
+	solver.MaxConflicts = opts.MaxConflicts
+	if opts.Timeout > 0 {
+		solver.Deadline = time.Now().Add(opts.Timeout)
+	}
+
+	start := time.Now()
+	res.Complete = true
+	for k := 1; k <= opts.K; k++ {
+		remaining := 0
+		if opts.MaxSolutions > 0 {
+			remaining = opts.MaxSolutions - len(res.Solutions)
+			if remaining <= 0 {
+				res.Complete = false
+				break
+			}
+		}
+		_, complete := solver.EnumerateProjected(inst.Sels, sat.EnumOptions{
+			Assumptions:  inst.AtMost(k),
+			MaxSolutions: remaining,
+		}, func(trueLits []sat.Lit) bool {
+			if len(res.Solutions) == 0 {
+				res.Timings.One = time.Since(start)
+			}
+			gates := litsToGates(inst.Sels, inst.Candidates, trueLits)
+			res.Solutions = append(res.Solutions, NewCorrection(gates))
+			return true
+		})
+		if !complete {
+			res.Complete = false
+			break
+		}
+	}
+	res.Timings.All = time.Since(start)
+	res.Stats = solver.Stats
+	return res, nil
+}
+
+// GateFunction is a partial truth table reconstructed for a corrected
+// gate: per test, the fanin minterm and the required output value. The
+// paper (Section 4) notes BSAT supplies "a new value for each gate in
+// the correction" per test, which "can be exploited to determine the
+// 'correct' function of the gate".
+type GateFunction struct {
+	Gate   int
+	Fanin  []int
+	Care   map[int]bool // minterm -> required output value
+	Agrees bool         // consistent across tests (no conflicting minterm)
+}
+
+// ExtractFunctions re-solves the instance with the given correction
+// selected and reads back, for every corrected gate and every test, the
+// fanin values and the injected correction value — yielding the partial
+// specification of the repaired gate functions. The correction must be
+// one of the enumerated solutions (or at least a valid correction).
+func (r *BSATResult) ExtractFunctions(corr Correction) ([]GateFunction, error) {
+	inst := r.inst
+	// The blocking clauses added during enumeration forbid re-deriving a
+	// model for an already-enumerated correction, so extraction rebuilds a
+	// fresh instance and assumes exactly this correction: its selects on,
+	// all others off.
+	fresh := cnf.BuildDiag(inst.Circuit, inst.Tests, cnf.DiagOptions{
+		Candidates: inst.Candidates,
+		MaxK:       corr.Size(),
+	})
+	freshAssumps := make([]sat.Lit, 0, len(fresh.Sels))
+	for j, g := range fresh.Candidates {
+		if corr.Contains(g) {
+			freshAssumps = append(freshAssumps, fresh.Sels[j])
+		} else {
+			freshAssumps = append(freshAssumps, fresh.Sels[j].Neg())
+		}
+	}
+	if st := fresh.Solver.Solve(freshAssumps...); st != sat.StatusSat {
+		return nil, fmt.Errorf("core: correction %v is not realizable (%v)", corr, st)
+	}
+	var out []GateFunction
+	for _, g := range corr.Gates {
+		gate := &inst.Circuit.Gates[g]
+		gf := GateFunction{Gate: g, Fanin: append([]int(nil), gate.Fanin...), Care: make(map[int]bool), Agrees: true}
+		for i := range fresh.Tests {
+			cv := fresh.CorrVars[i][g]
+			if cv == cnf.NoVar {
+				continue
+			}
+			minterm := 0
+			ok := true
+			for bit, f := range gate.Fanin {
+				fv := fresh.GateVars[i][f]
+				if fv == cnf.NoVar {
+					ok = false
+					break
+				}
+				if fresh.Solver.Value(fv) == sat.LTrue {
+					minterm |= 1 << uint(bit)
+				}
+			}
+			if !ok {
+				continue
+			}
+			val := fresh.Solver.Value(cv) == sat.LTrue
+			if prev, seen := gf.Care[minterm]; seen && prev != val {
+				gf.Agrees = false
+			}
+			gf.Care[minterm] = val
+		}
+		out = append(out, gf)
+	}
+	return out, nil
+}
+
+// FFRTwoPass is the dominator-style two-pass heuristic of the advanced
+// SAT-based approach (Section 2.3): pass 1 inserts multiplexers only at
+// fanout-free-region roots (every path from a region gate to an output
+// passes through its root, so a root correction can emulate any region
+// correction); pass 2 refines within the regions named by pass-1
+// solutions. The result is sound (every solution is a valid correction)
+// and non-empty whenever pass 1 finds solutions, but unlike the paper's
+// exact claim for its heuristics it may omit fine-grained solutions
+// whose region roots were redundant at the coarse level; see DESIGN.md.
+func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATResult, *BSATResult, error) {
+	roots := c.FFRRoots()
+	rootSet := make(map[int]bool)
+	for g, r := range roots {
+		if c.Gates[g].Kind != logic.Input {
+			rootSet[r] = true
+		}
+	}
+	rootCands := make([]int, 0, len(rootSet))
+	for r := range rootSet {
+		if c.Gates[r].Kind != logic.Input {
+			rootCands = append(rootCands, r)
+		}
+	}
+	sort.Ints(rootCands)
+
+	passOpts := opts
+	passOpts.Candidates = rootCands
+	pass1, err := BSAT(c, tests, passOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: FFR pass 1: %w", err)
+	}
+	// Pass 2 candidates: all members of every region named in pass 1.
+	named := make(map[int]bool)
+	for _, sol := range pass1.Solutions {
+		for _, r := range sol.Gates {
+			named[r] = true
+		}
+	}
+	var fine []int
+	for g, r := range roots {
+		if named[r] && c.Gates[g].Kind != logic.Input {
+			fine = append(fine, g)
+		}
+	}
+	sort.Ints(fine)
+	if len(fine) == 0 {
+		return pass1, &BSATResult{SolutionSet: SolutionSet{Complete: pass1.Complete}}, nil
+	}
+	fineOpts := opts
+	fineOpts.Candidates = fine
+	pass2, err := BSAT(c, tests, fineOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: FFR pass 2: %w", err)
+	}
+	return pass1, pass2, nil
+}
+
+// PartitionedBSAT splits the test-set into partitions of the given size
+// and diagnoses each independently over much smaller SAT instances — the
+// test-set-splitting heuristic of Section 2.3. Every correction proposed
+// by any partition is then checked against the full test-set by exact
+// effect analysis, and kept only if it is valid and essential there.
+//
+// The result is sound: every returned correction is a full-test-set BSAT
+// solution. It may under-approximate the full solution list, because a
+// correction essential for the whole test-set can be blocked inside a
+// partition where a strict subset already suffices; the ablation
+// benchmarks quantify this recall/size trade-off.
+func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize int, opts BSATOptions) (*SolutionSet, error) {
+	if partitionSize < 1 {
+		return nil, fmt.Errorf("core: partition size must be >= 1")
+	}
+	byKey := make(map[string]Correction)
+	parts := 0
+	complete := true
+	for lo := 0; lo < len(tests); lo += partitionSize {
+		hi := lo + partitionSize
+		if hi > len(tests) {
+			hi = len(tests)
+		}
+		res, err := BSAT(c, tests[lo:hi], opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", parts, err)
+		}
+		complete = complete && res.Complete
+		for _, sol := range res.Solutions {
+			byKey[sol.Key()] = sol
+		}
+		parts++
+	}
+	out := &SolutionSet{Complete: complete}
+	keys := make([]string, 0, len(byKey))
+	for key := range byKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		sol := byKey[key]
+		if Essential(c, tests, sol.Gates) {
+			out.Solutions = append(out.Solutions, sol)
+		}
+	}
+	return out, nil
+}

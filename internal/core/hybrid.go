@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// HybridBSAT implements the first hybrid sketched in the paper's
+// Section 6: "the fast engines of BSIM and COV can be used to direct the
+// SAT-search by tuning the decision heuristics of the solver". It runs
+// BasicSimDiagnose, then boosts the VSIDS activity of each candidate
+// gate's select line proportionally to its path-trace mark count M(g)
+// and sets the saved phase of highly marked selects to "selected", so
+// the SAT search branches on simulation-suspected sites first.
+//
+// The steering only reorders the search: the solution space — and thus
+// every guarantee of Lemmas 1 and 3 — is exactly that of plain BSAT.
+func HybridBSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions, pt PTOptions) (*BSATResult, *BSIMResult, error) {
+	bsim := BSIM(c, tests, pt)
+	steered := opts
+	steered.Steer = func(inst *cnf.Instance) {
+		max := 0
+		for _, m := range bsim.MarkCount {
+			if m > max {
+				max = m
+			}
+		}
+		if max == 0 {
+			return
+		}
+		for j, g := range inst.Candidates {
+			m := bsim.MarkCount[g]
+			if m == 0 {
+				continue
+			}
+			v := inst.Sels[j].Var()
+			inst.Solver.BumpActivity(v, float64(m))
+			if 2*m >= max {
+				inst.Solver.SetPolarity(v, true)
+			}
+		}
+	}
+	res, err := BSAT(c, tests, steered)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: hybrid: %w", err)
+	}
+	return res, bsim, nil
+}
+
+// RepairResult is the outcome of CovGuidedRepair.
+type RepairResult struct {
+	// Correction is the first valid correction obtained, or empty when
+	// none was found within the exploration bounds.
+	Correction Correction
+	Found      bool
+	// CovSolution is the covering solution the repair started from.
+	CovSolution Correction
+	// Validated counts COV solutions confirmed valid as-is; Repaired is
+	// set when the returned correction needed SAT repair (gate swaps).
+	Validated int
+	Repaired  bool
+	Elapsed   time.Duration
+}
+
+// CovGuidedRepair implements the second hybrid of Section 6: "choose an
+// initial correction (that may not be valid) and use SAT-based diagnosis
+// to turn it into a valid correction". Covering solutions are tried in
+// enumeration order: each is first checked by exact effect analysis
+// (cheap simulation); the first valid one is returned directly. If none
+// validates, the most promising covering solution seeds a SAT repair:
+// its gates are assumed selected one subset at a time (largest first)
+// while the solver is free to choose up to K total corrections, so the
+// initial guess is minimally amended into a valid correction.
+func CovGuidedRepair(c *circuit.Circuit, tests circuit.TestSet, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
+	start := time.Now()
+	out := &RepairResult{}
+	for _, sol := range covRes.Solutions {
+		if Validate(c, tests, sol.Gates) {
+			out.Correction = sol
+			out.CovSolution = sol
+			out.Found = true
+			out.Validated++
+			out.Elapsed = time.Since(start)
+			return out, nil
+		}
+	}
+	if len(covRes.Solutions) == 0 {
+		out.Elapsed = time.Since(start)
+		return out, nil
+	}
+
+	// No covering solution is valid as-is (the Lemma 2 situation): repair
+	// the first one with SAT.
+	seed := covRes.Solutions[0]
+	out.CovSolution = seed
+	inst := cnf.BuildDiag(c, tests, cnf.DiagOptions{
+		MaxK:      opts.K,
+		Encoding:  opts.Encoding,
+		ForceZero: opts.ForceZero,
+		ConeOnly:  opts.ConeOnly,
+	})
+	solver := inst.Solver
+	solver.MaxConflicts = opts.MaxConflicts
+	if opts.Timeout > 0 {
+		solver.Deadline = time.Now().Add(opts.Timeout)
+	}
+	// Phase-steer toward the seed so free searches stay near it.
+	for j, g := range inst.Candidates {
+		if seed.Contains(g) {
+			v := inst.Sels[j].Var()
+			solver.BumpActivity(v, 10)
+			solver.SetPolarity(v, true)
+		}
+	}
+	subsets := subsetsLargestFirst(seed.Gates)
+	for _, keep := range subsets {
+		if len(keep) > opts.K {
+			continue
+		}
+		assumps := make([]sat.Lit, 0, len(keep)+1)
+		for _, g := range keep {
+			l, ok := inst.SelLit(g)
+			if !ok {
+				continue
+			}
+			assumps = append(assumps, l)
+		}
+		assumps = append(assumps, inst.AtMost(opts.K)...)
+		if solver.Solve(assumps...) == sat.StatusSat {
+			var gates []int
+			for j, g := range inst.Candidates {
+				if solver.ValueLit(inst.Sels[j]) == sat.LTrue {
+					gates = append(gates, g)
+				}
+			}
+			out.Correction = NewCorrection(gates)
+			out.Found = true
+			out.Repaired = true
+			out.Elapsed = time.Since(start)
+			return out, nil
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// subsetsLargestFirst yields all subsets of gates ordered by descending
+// size (the full seed first, the empty set last).
+func subsetsLargestFirst(gates []int) [][]int {
+	n := len(gates)
+	subsets := make([][]int, 0, 1<<uint(n))
+	for m := 0; m < 1<<uint(n); m++ {
+		var sub []int
+		for i := 0; i < n; i++ {
+			if m>>uint(i)&1 == 1 {
+				sub = append(sub, gates[i])
+			}
+		}
+		subsets = append(subsets, sub)
+	}
+	sort.SliceStable(subsets, func(i, j int) bool { return len(subsets[i]) > len(subsets[j]) })
+	return subsets
+}

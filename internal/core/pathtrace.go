@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// PTPolicy selects which controlling input path tracing marks when a
+// gate has several inputs at controlling value. The paper's Figure 1
+// marks exactly one (the nondeterminism behind "PT either marks {A,B,D}
+// or {A,C,D}" in the Lemma 2 proof); MarkAll is the conservative variant
+// that marks every controlling input.
+type PTPolicy int
+
+// Marking policies.
+const (
+	MarkFirst  PTPolicy = iota // first controlling input in pin order (deterministic)
+	MarkRandom                 // a seeded random controlling input
+	MarkAll                    // every controlling input (superset variant)
+)
+
+// String names the policy.
+func (p PTPolicy) String() string {
+	switch p {
+	case MarkFirst:
+		return "mark-first"
+	case MarkRandom:
+		return "mark-random"
+	case MarkAll:
+		return "mark-all"
+	default:
+		return fmt.Sprintf("PTPolicy(%d)", int(p))
+	}
+}
+
+// PTOptions configures path tracing.
+type PTOptions struct {
+	Policy PTPolicy
+	Seed   int64 // used by MarkRandom
+}
+
+// PathTrace implements the PT procedure of Figure 1 on a single test:
+// simulate the vector, mark the gate driving the erroneous output, and
+// walk backward over sensitized paths — at each visited gate, if some
+// input carries the gate's controlling value, mark one such input (per
+// the policy), otherwise mark all inputs. Gates with no controlling
+// value (XOR/XNOR, truth tables) mark all inputs. The returned candidate
+// set Ci contains the visited internal gates in ascending ID order;
+// primary inputs terminate traces and are not candidates (corrections
+// apply at gates, mirroring the multiplexer placement of BSAT).
+//
+// The simulator must wrap the faulty implementation the test failed on.
+func PathTrace(s *sim.Simulator, t circuit.Test, opts PTOptions) []int {
+	c := s.Circuit()
+	s.RunVector(t.Vector)
+
+	var rng *rand.Rand
+	if opts.Policy == MarkRandom {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	marked := make([]bool, len(c.Gates))
+	marked[t.Output] = true
+	var ci []int
+	// Gates are in topological order, so a single reverse sweep visits
+	// every marked gate after all gates it could be marked by.
+	for g := len(c.Gates) - 1; g >= 0; g-- {
+		if !marked[g] {
+			continue
+		}
+		gate := &c.Gates[g]
+		if gate.Kind == logic.Input {
+			continue
+		}
+		ci = append(ci, g)
+		ctrlVal, hasCtrl := gate.Kind.Controlling()
+		var controlling []int
+		if hasCtrl {
+			for _, f := range gate.Fanin {
+				if s.OutputBit(f) == ctrlVal {
+					controlling = append(controlling, f)
+				}
+			}
+		}
+		switch {
+		case len(controlling) == 0:
+			// No input at controlling value (or no controlling value
+			// exists): every input is on a sensitized path.
+			for _, f := range gate.Fanin {
+				marked[f] = true
+			}
+		case opts.Policy == MarkAll:
+			for _, f := range controlling {
+				marked[f] = true
+			}
+		case opts.Policy == MarkRandom:
+			marked[controlling[rng.Intn(len(controlling))]] = true
+		default: // MarkFirst
+			marked[controlling[0]] = true
+		}
+	}
+	sort.Ints(ci)
+	return ci
+}
+
+// BSIMResult is the outcome of BasicSimDiagnose: one candidate set per
+// test plus the per-gate mark counts M(g).
+type BSIMResult struct {
+	Sets      [][]int // Ci per test, ascending gate IDs
+	MarkCount []int   // M(g) = |{i : g in Ci}| per gate ID
+	Elapsed   time.Duration
+}
+
+// BSIM runs BasicSimDiagnose (Figure 1): PathTrace for every test of the
+// set, on the faulty implementation c.
+func BSIM(c *circuit.Circuit, tests circuit.TestSet, opts PTOptions) *BSIMResult {
+	start := time.Now()
+	s := sim.New(c)
+	res := &BSIMResult{
+		Sets:      make([][]int, len(tests)),
+		MarkCount: make([]int, len(c.Gates)),
+	}
+	for i, t := range tests {
+		o := opts
+		if opts.Policy == MarkRandom {
+			o.Seed = opts.Seed + int64(i)
+		}
+		ci := PathTrace(s, t, o)
+		res.Sets[i] = ci
+		for _, g := range ci {
+			res.MarkCount[g]++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Union returns the set of all marked gates (∪ Ci), ascending.
+func (r *BSIMResult) Union() []int {
+	var u []int
+	for g, m := range r.MarkCount {
+		if m > 0 {
+			u = append(u, g)
+		}
+	}
+	return u
+}
+
+// Intersection returns ∩ Ci — under a single-error assumption the actual
+// error site lies in this set.
+func (r *BSIMResult) Intersection() []int {
+	var out []int
+	for g, m := range r.MarkCount {
+		if m == len(r.Sets) && m > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// MaxMarked returns Gmax: the gates marked by the maximal number of
+// tests (the ordering heuristic for multiple errors).
+func (r *BSIMResult) MaxMarked() []int {
+	max := 0
+	for _, m := range r.MarkCount {
+		if m > max {
+			max = m
+		}
+	}
+	if max == 0 {
+		return nil
+	}
+	var out []int
+	for g, m := range r.MarkCount {
+		if m == max {
+			out = append(out, g)
+		}
+	}
+	return out
+}

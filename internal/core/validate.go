@@ -1,0 +1,121 @@
+package core
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// maxValidateGates bounds the exhaustive effect analysis (2^n forced
+// assignments per test). Diagnosis limits k are small (the paper uses
+// 1-4), so 20 is far beyond practical need while still guarding runtime.
+const maxValidateGates = 20
+
+// Validate performs exact effect analysis per Definition 3: it reports
+// whether the gate set is a valid correction for the test-set, i.e. for
+// every test some assignment of values to the gates' outputs produces
+// the correct value at the test's erroneous output. Because the fanin
+// values of a corrected gate are fixed within a single test, replacing a
+// gate function by an arbitrary Boolean function is per test exactly a
+// free output constant — the same semantics BSAT's per-test correction
+// inputs c^i_g give a selected multiplexer.
+//
+// All 2^|gates| forced assignments of one test are packed into 64-wide
+// simulation words, so corrections up to size 6 need a single
+// simulation pass per test.
+func Validate(c *circuit.Circuit, tests circuit.TestSet, gates []int) bool {
+	return ValidateSim(sim.New(c), tests, gates)
+}
+
+// ValidateSim is Validate with a caller-supplied simulator (avoids
+// re-allocation in hot loops).
+func ValidateSim(s *sim.Simulator, tests circuit.TestSet, gates []int) bool {
+	n := len(gates)
+	if n > maxValidateGates {
+		panic("core: Validate over more than 20 gates")
+	}
+	if n == 0 {
+		// The empty correction is valid iff the circuit already passes.
+		for _, t := range tests {
+			s.RunVector(t.Vector)
+			if s.OutputBit(t.Output) != t.Want {
+				return false
+			}
+		}
+		return true
+	}
+	total := 1 << uint(n)
+	forced := make([]sim.Forced, n)
+	for _, t := range tests {
+		inputs := sim.PackVector(t.Vector)
+		rectified := false
+		for base := 0; base < total && !rectified; base += 64 {
+			lanes := total - base
+			if lanes > 64 {
+				lanes = 64
+			}
+			for j, g := range gates {
+				forced[j] = sim.Forced{Gate: g, Value: assignmentWord(base, j)}
+			}
+			s.RunForced(inputs, forced)
+			out := s.Value(t.Output)
+			if !t.Want {
+				out = ^out
+			}
+			if lanes < 64 {
+				out &= (1 << uint(lanes)) - 1
+			}
+			if out != 0 {
+				rectified = true
+			}
+		}
+		if !rectified {
+			return false
+		}
+	}
+	return true
+}
+
+// assignmentWord returns the 64-lane word of bit j over assignments
+// base..base+63: lane l carries bit j of assignment number base+l.
+func assignmentWord(base, j int) uint64 {
+	if j >= 6 {
+		// Within a 64-aligned chunk, bits >= 6 are constant.
+		if base>>uint(j)&1 == 1 {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	// Standard basis words: j=0 -> 0xAAAA..., j=1 -> 0xCCCC..., etc.
+	var w uint64
+	for l := uint(0); l < 64; l++ {
+		if (uint(base)+l)>>uint(j)&1 == 1 {
+			w |= 1 << l
+		}
+	}
+	return w
+}
+
+// Essential reports whether the correction is valid and contains only
+// essential candidates (Definition 4): dropping any single gate breaks
+// validity.
+func Essential(c *circuit.Circuit, tests circuit.TestSet, gates []int) bool {
+	s := sim.New(c)
+	if !ValidateSim(s, tests, gates) {
+		return false
+	}
+	if len(gates) == 1 {
+		// A singleton is essential iff the circuit does not already pass;
+		// every test fails by Definition 1, so it is.
+		return true
+	}
+	reduced := make([]int, 0, len(gates)-1)
+	for i := range gates {
+		reduced = reduced[:0]
+		reduced = append(reduced, gates[:i]...)
+		reduced = append(reduced, gates[i+1:]...)
+		if ValidateSim(s, tests, reduced) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// XDiagnose implements the simulation-based diagnosis style the paper
+// contrasts with path tracing in Section 2.2: "an approach based on
+// forward implications by injecting X-values" (Boppana et al.'s X-lists).
+// For each test, a gate is a candidate iff injecting X at its output
+// drives the erroneous output to X under three-valued simulation — a
+// per-gate forward effect screen instead of PT's backward trace.
+//
+// 64 gates are screened per simulation pass (one X per lane), so a test
+// costs ceil(|I|/64) passes. The result uses the BSIMResult shape so the
+// covering stage (Figure 4) can run on either engine's candidate sets.
+//
+// Relation to path tracing: X-candidacy is a sound over-approximation of
+// single-gate fixability — every gate whose value change can rectify a
+// test is X-marked (three-valued simulation is pessimistic but never
+// reports a definite value when a refinement differs). PT, in contrast,
+// may mark gates whose value cannot influence the output at all (the
+// Lemma 2 situation), and may miss influencing gates on unmarked
+// branches.
+func XDiagnose(c *circuit.Circuit, tests circuit.TestSet) *BSIMResult {
+	start := time.Now()
+	xs := sim.NewX(c)
+	internal := c.InternalGates()
+	res := &BSIMResult{
+		Sets:      make([][]int, len(tests)),
+		MarkCount: make([]int, len(c.Gates)),
+	}
+	forces := make([]sim.XForce, 0, 64)
+	for i, t := range tests {
+		inputs := sim.PackVector(t.Vector)
+		var ci []int
+		for base := 0; base < len(internal); base += 64 {
+			hi := base + 64
+			if hi > len(internal) {
+				hi = len(internal)
+			}
+			chunk := internal[base:hi]
+			forces = forces[:0]
+			for lane, g := range chunk {
+				forces = append(forces, sim.XForce{Gate: g, Lanes: 1 << uint(lane)})
+			}
+			xs.RunForced(inputs, forces)
+			w := xs.Value(t.Output)
+			xmask := ^(w.Zero | w.One)
+			for lane := range chunk {
+				if xmask>>uint(lane)&1 == 1 {
+					ci = append(ci, chunk[lane])
+				}
+			}
+		}
+		sort.Ints(ci)
+		res.Sets[i] = ci
+		for _, g := range ci {
+			res.MarkCount[g]++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// PerTestFixable reports, for one test, the internal gates whose output
+// value flip-or-force rectifies that single test (singleton effect
+// analysis). Used to cross-check XDiagnose and as the exact —
+// 2x-more-expensive — screen.
+func PerTestFixable(c *circuit.Circuit, t circuit.Test) []int {
+	s := sim.New(c)
+	internal := c.InternalGates()
+	inputs := sim.PackVector(t.Vector)
+	var out []int
+	forces := make([]sim.Forced, 0, 1)
+	for _, g := range internal {
+		fixable := false
+		for _, val := range []uint64{0, ^uint64(0)} {
+			forces = append(forces[:0], sim.Forced{Gate: g, Value: val})
+			s.RunForced(inputs, forces)
+			if s.OutputBit(t.Output) == t.Want {
+				fixable = true
+				break
+			}
+		}
+		if fixable {
+			out = append(out, g)
+		}
+	}
+	return out
+}

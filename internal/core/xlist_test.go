@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// TestXDiagnoseOnFig5a: X-injection performs per-gate effect analysis,
+// so — unlike path tracing — it excludes B and C on the Lemma 2 circuit:
+// with the other buffer stuck at 0, an X at one buffer cannot reach the
+// output through the AND gate.
+func TestXDiagnoseOnFig5a(t *testing.T) {
+	c, test, names := fig5a(t)
+	res := XDiagnose(c, circuit.TestSet{test})
+	got := NewCorrection(res.Sets[0])
+	want := NewCorrection(gateSet(names, "A", "D"))
+	if got.Key() != want.Key() {
+		t.Fatalf("X-candidates %v, want %v", got, want)
+	}
+}
+
+// TestXDiagnoseOnFig5b: on the Lemma 4 circuit no single gate other than
+// E can fix the test, and X-screening reflects that (A and B alone are
+// masked by the other AND input being 0).
+func TestXDiagnoseOnFig5b(t *testing.T) {
+	c, test, names := fig5b(t)
+	res := XDiagnose(c, circuit.TestSet{test})
+	got := NewCorrection(res.Sets[0])
+	want := NewCorrection(gateSet(names, "E"))
+	if got.Key() != want.Key() {
+		t.Fatalf("X-candidates %v, want %v", got, want)
+	}
+}
+
+// TestXDiagnoseOverapproximatesFixable: every gate whose forced value
+// rectifies a test must be X-marked for that test (soundness of the
+// three-valued screen); the X set may be larger (pessimism).
+func TestXDiagnoseOverapproximatesFixable(t *testing.T) {
+	f := func(seed int64) bool {
+		sc := makeScenario(t, seed%5000, 1, 4)
+		if sc == nil {
+			return true
+		}
+		res := XDiagnose(sc.faulty, sc.tests)
+		for i, test := range sc.tests {
+			marked := make(map[int]bool, len(res.Sets[i]))
+			for _, g := range res.Sets[i] {
+				marked[g] = true
+			}
+			for _, g := range PerTestFixable(sc.faulty, test) {
+				if !marked[g] {
+					t.Logf("seed %d test %d: fixable gate %d not X-marked", seed, i, g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestXDiagnoseCandidatesWithinCone: X at a gate outside the output's
+// fanin cone can never reach it.
+func TestXDiagnoseCandidatesWithinCone(t *testing.T) {
+	f := func(seed int64) bool {
+		sc := makeScenario(t, seed%5000, 1, 4)
+		if sc == nil {
+			return true
+		}
+		res := XDiagnose(sc.faulty, sc.tests)
+		for i, test := range sc.tests {
+			cone := sc.faulty.FaninCone(test.Output)
+			for _, g := range res.Sets[i] {
+				if !cone[g] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCOVWithXListEngine: the covering stage runs on X-list candidate
+// sets; on fig5a this eliminates the invalid {B} solution that the
+// PT-based COV produced (Lemma 2's witness), because the candidate sets
+// themselves are effect-screened.
+func TestCOVWithXListEngine(t *testing.T) {
+	c, test, names := fig5a(t)
+	tests := circuit.TestSet{test}
+	covX, err := COV(c, tests, CovOptions{K: 1, UseXList: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSol := NewCorrection([]int{names["B"]})
+	if covX.ContainsKey(bSol) {
+		t.Fatalf("X-list COV still proposes invalid {B}: %v", covX.Solutions)
+	}
+	// And it still finds the two real single-gate fixes.
+	for _, label := range []string{"A", "D"} {
+		if !covX.ContainsKey(NewCorrection([]int{names[label]})) {
+			t.Fatalf("X-list COV lost {%s}: %v", label, covX.Solutions)
+		}
+	}
+}
+
+// TestXDiagnoseSingleErrorSiteMarked: for single-error scenarios the
+// actual site must be X-marked by every test (its value change caused
+// the failure, so X reaches the output).
+func TestXDiagnoseSingleErrorSiteMarked(t *testing.T) {
+	f := func(seed int64) bool {
+		sc := makeScenario(t, seed%5000, 1, 6)
+		if sc == nil {
+			return true
+		}
+		res := XDiagnose(sc.faulty, sc.tests)
+		site := sc.sites[0]
+		return res.MarkCount[site] == len(sc.tests)
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

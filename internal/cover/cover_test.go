@@ -1,0 +1,253 @@
+package cover
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample1 encodes Example 1 of the paper verbatim: candidate
+// sets C1={A,B,F,G}, C2={C,D,E,F,G}, C3={B,C,E,H}, k=2; {B,D} must be
+// among the solutions, {A,D,H} (size 3) must not (k=2), and every
+// solution must be an irredundant cover.
+func TestPaperExample1(t *testing.T) {
+	const (
+		A = iota
+		B
+		C
+		D
+		E
+		F
+		G
+		H
+	)
+	p := NewProblem([][]int{
+		{A, B, F, G},
+		{C, D, E, F, G},
+		{B, C, E, H},
+	})
+	res, err := EnumerateSAT(p, Options{MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	found := func(want []int) bool {
+		for _, cov := range res.Covers {
+			if fmt.Sprint(cov) == fmt.Sprint(want) {
+				return true
+			}
+		}
+		return false
+	}
+	if !found([]int{B, D}) {
+		t.Fatalf("{B,D} missing from %v", res.Covers)
+	}
+	// {A,D,H} is a valid solution for k=3 but must be absent at k=2.
+	if found([]int{A, D, H}) {
+		t.Fatal("size-3 solution at k=2")
+	}
+	for _, cov := range res.Covers {
+		if !p.Irredundant(cov) || len(cov) > 2 {
+			t.Fatalf("bad solution %v", cov)
+		}
+	}
+	// With k=3, {A,D,H} must appear (the paper's second example solution).
+	res3, err := EnumerateSAT(p, Options{MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found3 := false
+	for _, cov := range res3.Covers {
+		if fmt.Sprint(cov) == fmt.Sprint([]int{A, D, H}) {
+			found3 = true
+		}
+	}
+	if !found3 {
+		t.Fatalf("{A,D,H} missing at k=3: %v", res3.Covers)
+	}
+}
+
+func TestCoversAndIrredundant(t *testing.T) {
+	p := NewProblem([][]int{{1, 2}, {2, 3}})
+	if !p.Covers([]int{2}) || p.Covers([]int{1}) {
+		t.Fatal("Covers wrong")
+	}
+	if !p.Irredundant([]int{2}) {
+		t.Fatal("{2} should be irredundant")
+	}
+	if p.Irredundant([]int{1, 2}) {
+		t.Fatal("{1,2} has redundant 1")
+	}
+	if !p.Irredundant([]int{1, 3}) {
+		t.Fatal("{1,3} should be irredundant")
+	}
+}
+
+func TestUniverseDedupes(t *testing.T) {
+	p := NewProblem([][]int{{3, 1, 3}, {1, 2}})
+	u := p.Universe()
+	if fmt.Sprint(u) != "[1 2 3]" {
+		t.Fatalf("universe %v", u)
+	}
+	if len(p.Sets[0]) != 2 {
+		t.Fatalf("in-set duplicate kept: %v", p.Sets[0])
+	}
+}
+
+func TestEmptySetRejected(t *testing.T) {
+	p := NewProblem([][]int{{1}, {}})
+	if _, err := EnumerateSAT(p, Options{MaxK: 2}); err == nil {
+		t.Fatal("empty set accepted by SAT engine")
+	}
+	if _, err := EnumerateBB(p, Options{MaxK: 2}); err == nil {
+		t.Fatal("empty set accepted by BB engine")
+	}
+	if _, err := Greedy(p); err == nil {
+		t.Fatal("empty set accepted by Greedy")
+	}
+}
+
+// TestEnginesAgreeProperty: SAT and branch-and-bound enumerate identical
+// irredundant cover sets on random instances.
+func TestEnginesAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nElems := 3 + rng.Intn(6)
+		nSets := 1 + rng.Intn(5)
+		sets := make([][]int, nSets)
+		for i := range sets {
+			size := 1 + rng.Intn(nElems)
+			perm := rng.Perm(nElems)[:size]
+			sets[i] = perm
+		}
+		p := NewProblem(sets)
+		k := 1 + rng.Intn(3)
+		satRes, err := EnumerateSAT(p, Options{MaxK: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbRes, err := EnumerateBB(p, Options{MaxK: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sameCoverSets(satRes.Covers, bbRes.Covers)
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 30
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameCoverSets(a, b [][]int) bool {
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i, c := range a {
+		ka[i] = fmt.Sprint(c)
+	}
+	for i, c := range b {
+		kb[i] = fmt.Sprint(c)
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	return fmt.Sprint(ka) == fmt.Sprint(kb)
+}
+
+// TestEnumerationExactlyIrredundant: every enumerated cover is
+// irredundant and every irredundant cover of size <= k is enumerated
+// (cross-checked against brute force).
+func TestEnumerationExactlyIrredundant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nElems := 3 + rng.Intn(4) // <= 6 elements: brute force is cheap
+		nSets := 1 + rng.Intn(4)
+		sets := make([][]int, nSets)
+		for i := range sets {
+			size := 1 + rng.Intn(nElems)
+			sets[i] = rng.Perm(nElems)[:size]
+		}
+		p := NewProblem(sets)
+		k := 1 + rng.Intn(nElems)
+		res, err := EnumerateSAT(p, Options{MaxK: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var brute [][]int
+		for m := 1; m < 1<<uint(nElems); m++ {
+			var sel []int
+			for e := 0; e < nElems; e++ {
+				if m>>uint(e)&1 == 1 {
+					sel = append(sel, e)
+				}
+			}
+			if len(sel) <= k && p.Irredundant(sel) {
+				brute = append(brute, sel)
+			}
+		}
+		return sameCoverSets(res.Covers, brute)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if testing.Short() {
+		cfg.MaxCount = 25
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyReturnsIrredundantCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nElems := 3 + rng.Intn(8)
+		nSets := 1 + rng.Intn(8)
+		sets := make([][]int, nSets)
+		for i := range sets {
+			size := 1 + rng.Intn(nElems)
+			sets[i] = rng.Perm(nElems)[:size]
+		}
+		p := NewProblem(sets)
+		sel, err := Greedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Irredundant(sel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxSolutionsCap(t *testing.T) {
+	// Universe of 6 free elements, one set of all: 6 singleton covers.
+	p := NewProblem([][]int{{0, 1, 2, 3, 4, 5}})
+	res, err := EnumerateSAT(p, Options{MaxK: 1, MaxSolutions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Covers) != 3 || res.Complete {
+		t.Fatalf("cap broken: %d covers, complete=%v", len(res.Covers), res.Complete)
+	}
+	resBB, err := EnumerateBB(p, Options{MaxK: 1, MaxSolutions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resBB.Covers) != 3 || resBB.Complete {
+		t.Fatalf("BB cap broken: %d covers, complete=%v", len(resBB.Covers), resBB.Complete)
+	}
+}
+
+func TestBadK(t *testing.T) {
+	p := NewProblem([][]int{{1}})
+	if _, err := EnumerateSAT(p, Options{MaxK: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := EnumerateBB(p, Options{MaxK: 0}); err == nil {
+		t.Fatal("k=0 accepted by BB")
+	}
+}

@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smokeBudget() Budget {
+	return Budget{MaxSolutions: 2000, MaxConflicts: 500000, Timeout: 30 * time.Second}
+}
+
+func TestRunConfigSmoke(t *testing.T) {
+	cfg := Config{Circuit: "s298x", P: 2, Ms: []int{4, 8}, Seed: 42, Budget: smokeBudget()}
+	rows, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.M == 0 || r.BSIMQ.UnionSize == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.SatQ.NumSolutions == 0 {
+			t.Fatalf("BSAT found no solutions: %+v", r)
+		}
+		if r.CovQ.NumSolutions == 0 {
+			t.Fatalf("COV found no solutions: %+v", r)
+		}
+		if r.SatVars == 0 || r.SatClauses == 0 {
+			t.Fatalf("instance size not recorded: %+v", r)
+		}
+		t.Logf("%s p=%d m=%d: BSIM %v |UCi|=%d; COV %d sols (%v); BSAT %d sols (%v) vars=%d",
+			r.Circuit, r.P, r.M, r.BSIMTime, r.BSIMQ.UnionSize,
+			r.CovQ.NumSolutions, r.CovTimings.All,
+			r.SatQ.NumSolutions, r.SatTimings.All, r.SatVars)
+	}
+}
+
+func TestPrefixSharing(t *testing.T) {
+	cfg := Config{Circuit: "s298x", P: 1, Ms: []int{4, 8}, Seed: 7, Budget: smokeBudget()}
+	sc, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sc.Tests.Prefix(4)
+	b := sc.Tests.Prefix(8)
+	for i := range a {
+		if a[i].Output != b[i].Output || a[i].Want != b[i].Want {
+			t.Fatal("prefix sharing broken")
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	cfg := Config{Circuit: "s298x", P: 1, Ms: []int{4}, Seed: 9, Budget: smokeBudget()}
+	rows, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "s298x") || !strings.Contains(sb.String(), "BSIM") {
+		t.Fatalf("table 2 rendering broken:\n%s", sb.String())
+	}
+	sb.Reset()
+	RenderTable3(&sb, rows)
+	if !strings.Contains(sb.String(), "|UCi|") {
+		t.Fatalf("table 3 rendering broken:\n%s", sb.String())
+	}
+	pts := []Point{{Circuit: "s298x", P: 1, M: 4, X: 3, Y: 1}, {Circuit: "s298x", P: 1, M: 8, X: 10, Y: 12}}
+	sb.Reset()
+	RenderPointsCSV(&sb, pts)
+	if !strings.Contains(sb.String(), "s298x,1,4,3,1") {
+		t.Fatalf("CSV rendering broken:\n%s", sb.String())
+	}
+	sb.Reset()
+	RenderScatterASCII(&sb, pts, false, "fig6a")
+	if !strings.Contains(sb.String(), "1 below / 1 above") {
+		t.Fatalf("scatter rendering broken:\n%s", sb.String())
+	}
+}
+
+func TestFigure6SweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	avgPts, numPts, err := Figure6Sweep([]string{"s298x"}, 2, []int{4, 8}, smokeBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numPts) == 0 {
+		t.Fatal("no scatter points")
+	}
+	for _, p := range avgPts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("NaN point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package faults injects design errors into circuits. The paper's error
+// model is "the replacement of the function of a gate by another
+// arbitrary Boolean function" (Section 2.1); the experiments use "gate
+// change errors". This package provides that model plus the common
+// restricted variants (gate-kind swap, output inversion) and seeded
+// multi-error injection.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Model selects an error model.
+type Model int
+
+// Error models.
+//
+// KindChange replaces the gate kind by a different kind of the same
+// arity (the classic "gate change" error of the experiments).
+// OutputInversion complements the gate function.
+// FunctionChange replaces the gate by a uniformly random different truth
+// table over the same fanins (the paper's most general definition).
+const (
+	KindChange Model = iota
+	OutputInversion
+	FunctionChange
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case KindChange:
+		return "kind-change"
+	case OutputInversion:
+		return "output-inversion"
+	case FunctionChange:
+		return "function-change"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Fault describes one injected error.
+type Fault struct {
+	Gate  int    // gate ID of the error site
+	Model Model  // how the function was changed
+	Desc  string // human-readable description ("AND->NOR" etc.)
+}
+
+// FaultSet is the outcome of an injection: the faulty circuit plus the
+// actual error sites e1..ep.
+type FaultSet struct {
+	Faults []Fault
+}
+
+// Sites returns the sorted error-site gate IDs.
+func (fs *FaultSet) Sites() []int {
+	sites := make([]int, len(fs.Faults))
+	for i, f := range fs.Faults {
+		sites[i] = f.Gate
+	}
+	sort.Ints(sites)
+	return sites
+}
+
+// String summarizes the fault set.
+func (fs *FaultSet) String() string {
+	s := ""
+	for i, f := range fs.Faults {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.Desc
+	}
+	return s
+}
+
+// Options configures injection.
+type Options struct {
+	Count int   // number of errors p (default 1)
+	Model Model // error model (default KindChange)
+	Seed  int64 // RNG seed; identical seeds reproduce identical faults
+	// MinFanout, when positive, requires error sites to have at least
+	// this many fanouts, biasing toward observable errors.
+	MinFanout int
+}
+
+// Inject returns a deep copy of golden with Options.Count errors
+// injected at distinct internal gates, together with the fault records.
+// Injection guarantees each modified gate computes a function different
+// from the original (pointwise on at least one minterm), but does not by
+// itself guarantee the circuit outputs differ — pair with tgen to obtain
+// failing tests (and resample if the fault is undetectable).
+func Inject(golden *circuit.Circuit, opts Options) (*circuit.Circuit, *FaultSet, error) {
+	count := opts.Count
+	if count <= 0 {
+		count = 1
+	}
+	internal := eligible(golden, opts.MinFanout)
+	if len(internal) < count {
+		return nil, nil, fmt.Errorf("faults: circuit %q has %d eligible gates, need %d", golden.Name, len(internal), count)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	faulty := golden.Clone()
+	faulty.Name = golden.Name + "_faulty"
+	perm := rng.Perm(len(internal))
+	fs := &FaultSet{}
+	for i := 0; i < count; i++ {
+		g := internal[perm[i]]
+		f, err := mutate(faulty, g, opts.Model, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		fs.Faults = append(fs.Faults, f)
+	}
+	sort.Slice(fs.Faults, func(i, j int) bool { return fs.Faults[i].Gate < fs.Faults[j].Gate })
+	return faulty, fs, nil
+}
+
+func eligible(c *circuit.Circuit, minFanout int) []int {
+	var ids []int
+	for _, g := range c.InternalGates() {
+		if len(c.Gates[g].Fanout) >= minFanout || c.IsOutput(g) {
+			ids = append(ids, g)
+		}
+	}
+	return ids
+}
+
+func mutate(c *circuit.Circuit, g int, model Model, rng *rand.Rand) (Fault, error) {
+	gate := &c.Gates[g]
+	orig := describeKind(gate)
+	switch model {
+	case KindChange:
+		repl := replacementKinds(gate)
+		if len(repl) == 0 {
+			// Fall back to inversion for kinds without same-arity peers.
+			return invert(c, g, orig)
+		}
+		gate.Kind = repl[rng.Intn(len(repl))]
+		gate.Table = nil
+		return Fault{Gate: g, Model: KindChange,
+			Desc: fmt.Sprintf("%s@%s: %s->%s", gate.Name, c.Name, orig, gate.Kind)}, nil
+	case OutputInversion:
+		return invert(c, g, orig)
+	case FunctionChange:
+		n := len(gate.Fanin)
+		if n > logic.MaxTableInputs {
+			return Fault{}, fmt.Errorf("faults: gate %q fanin %d exceeds table limit", gate.Name, n)
+		}
+		cur := currentTable(gate)
+		t := cur.Clone()
+		for t.Equal(cur) {
+			for i := range t.Bits {
+				t.Bits[i] = rng.Uint64()
+			}
+			mask := uint(t.Rows())
+			if mask < 64 {
+				t.Bits[0] &= (1 << mask) - 1
+			}
+		}
+		gate.Kind = logic.TableKind
+		gate.Table = t
+		return Fault{Gate: g, Model: FunctionChange,
+			Desc: fmt.Sprintf("%s@%s: %s->TABLE[%s]", gate.Name, c.Name, orig, t)}, nil
+	}
+	return Fault{}, fmt.Errorf("faults: unknown model %v", model)
+}
+
+func invert(c *circuit.Circuit, g int, orig string) (Fault, error) {
+	gate := &c.Gates[g]
+	switch gate.Kind {
+	case logic.And:
+		gate.Kind = logic.Nand
+	case logic.Nand:
+		gate.Kind = logic.And
+	case logic.Or:
+		gate.Kind = logic.Nor
+	case logic.Nor:
+		gate.Kind = logic.Or
+	case logic.Xor:
+		gate.Kind = logic.Xnor
+	case logic.Xnor:
+		gate.Kind = logic.Xor
+	case logic.Buf:
+		gate.Kind = logic.Not
+	case logic.Not:
+		gate.Kind = logic.Buf
+	case logic.Const0:
+		gate.Kind = logic.Const1
+	case logic.Const1:
+		gate.Kind = logic.Const0
+	case logic.TableKind:
+		t := gate.Table.Clone()
+		for i := range t.Bits {
+			t.Bits[i] = ^t.Bits[i]
+		}
+		if mask := uint(t.Rows()); mask < 64 {
+			t.Bits[0] &= (1 << mask) - 1
+		}
+		gate.Table = t
+	default:
+		return Fault{}, fmt.Errorf("faults: cannot invert kind %v", gate.Kind)
+	}
+	return Fault{Gate: g, Model: OutputInversion,
+		Desc: fmt.Sprintf("%s@%s: %s inverted", gate.Name, c.Name, orig)}, nil
+}
+
+func describeKind(g *circuit.Gate) string {
+	if g.Kind == logic.TableKind {
+		return "TABLE[" + g.Table.String() + "]"
+	}
+	return g.Kind.String()
+}
+
+// replacementKinds lists alternative kinds with the same arity that
+// compute a different function from the current gate.
+func replacementKinds(g *circuit.Gate) []logic.Kind {
+	n := len(g.Fanin)
+	var pool []logic.Kind
+	switch {
+	case n == 1:
+		pool = []logic.Kind{logic.Buf, logic.Not}
+	case n >= 2:
+		pool = []logic.Kind{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor}
+	default:
+		return nil
+	}
+	cur := currentTable(g)
+	var out []logic.Kind
+	for _, k := range pool {
+		if k == g.Kind {
+			continue
+		}
+		if !logic.TableOf(k, n).Equal(cur) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func currentTable(g *circuit.Gate) *logic.Table {
+	if g.Kind == logic.TableKind {
+		return g.Table
+	}
+	return logic.TableOf(g.Kind, len(g.Fanin))
+}

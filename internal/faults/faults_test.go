@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func TestInjectKindChange(t *testing.T) {
+	golden, err := gen.Generate(gen.Spec{Name: "f", Inputs: 6, Outputs: 3, Gates: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, fs, err := Inject(golden, Options{Count: 2, Model: KindChange, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := fs.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("sites %v", sites)
+	}
+	// Exactly the error sites differ from the golden circuit.
+	for g := range golden.Gates {
+		isSite := false
+		for _, s := range sites {
+			if s == g {
+				isSite = true
+			}
+		}
+		same := golden.Gates[g].Kind == faulty.Gates[g].Kind
+		if isSite && same {
+			t.Fatalf("site %d unchanged", g)
+		}
+		if !isSite && !same {
+			t.Fatalf("non-site %d changed", g)
+		}
+	}
+	// Golden untouched.
+	if golden.Name == faulty.Name {
+		t.Fatal("faulty circuit not renamed")
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	golden, err := gen.Generate(gen.Spec{Name: "f", Inputs: 6, Outputs: 3, Gates: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fs1, err := Inject(golden, Options{Count: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fs2, err := Inject(golden, Options{Count: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs1.String() != fs2.String() {
+		t.Fatalf("same seed, different faults:\n%s\n%s", fs1, fs2)
+	}
+	_, fs3, err := Inject(golden, Options{Count: 3, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs1.String() == fs3.String() {
+		t.Fatal("different seeds produced identical faults (suspicious)")
+	}
+}
+
+// TestInjectedFunctionDiffers: for every model, the mutated gate must
+// compute a different function (pointwise on some minterm).
+func TestInjectedFunctionDiffers(t *testing.T) {
+	golden, err := gen.Generate(gen.Spec{Name: "f", Inputs: 6, Outputs: 3, Gates: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, modelRaw uint8) bool {
+		model := Model(int(modelRaw) % 3)
+		faulty, fs, err := Inject(golden, Options{Count: 1, Model: model, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fs.Sites()[0]
+		return !gateTable(&golden.Gates[g]).Equal(gateTable(&faulty.Gates[g]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gateTable(g *circuit.Gate) *logic.Table {
+	if g.Kind == logic.TableKind {
+		return g.Table
+	}
+	return logic.TableOf(g.Kind, len(g.Fanin))
+}
+
+func TestOutputInversionFlipsEverywhere(t *testing.T) {
+	golden, err := gen.Generate(gen.Spec{Name: "f", Inputs: 5, Outputs: 2, Gates: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, fs, err := Inject(golden, Options{Count: 1, Model: OutputInversion, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fs.Sites()[0]
+	// Simulate both; the site's value must be complemented on all vectors.
+	gs := sim.New(golden)
+	fsim := sim.New(faulty)
+	words := make([]uint64, len(golden.Inputs))
+	for i := range words {
+		words[i] = 0xDEADBEEFCAFEF00D + uint64(i)*0x9E3779B97F4A7C15
+	}
+	gs.Run(words)
+	fsim.Run(words)
+	if gs.Value(g) != ^fsim.Value(g) {
+		t.Fatalf("site %d not complemented", g)
+	}
+}
+
+func TestInjectTooManyErrors(t *testing.T) {
+	golden, err := gen.Generate(gen.Spec{Name: "f", Inputs: 3, Outputs: 1, Gates: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Inject(golden, Options{Count: 100}); err == nil {
+		t.Fatal("expected error for too many injection sites")
+	}
+}
+
+func TestFaultSetDescription(t *testing.T) {
+	golden, err := gen.Generate(gen.Spec{Name: "f", Inputs: 6, Outputs: 3, Gates: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fs, err := Inject(golden, Options{Count: 2, Model: FunctionChange, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.String() == "" || len(fs.Faults) != 2 {
+		t.Fatalf("bad fault set: %+v", fs)
+	}
+	for _, f := range fs.Faults {
+		if f.Model != FunctionChange || f.Desc == "" {
+			t.Fatalf("bad fault record %+v", f)
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if KindChange.String() != "kind-change" || OutputInversion.String() != "output-inversion" || FunctionChange.String() != "function-change" {
+		t.Fatal("model names")
+	}
+}

@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// C17Bench is the genuine ISCAS85 c17 netlist (public domain, six NAND
+// gates) in .bench format, embedded for parser fidelity tests and tiny
+// end-to-end demos.
+const C17Bench = `# c17 — ISCAS85 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// S27XBench is a small sequential netlist in the style of ISCAS89 s27
+// (three flip-flops, a handful of gates) used to exercise the full-scan
+// DFF conversion of the .bench parser. It is a stand-in, not the
+// original s27 netlist.
+const S27XBench = `# s27x — small sequential circuit (s27-style stand-in)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+`
+
+// C17 parses the embedded c17 netlist.
+func C17() (*circuit.Circuit, error) {
+	return circuit.ParseBench("c17", strings.NewReader(C17Bench))
+}
+
+// S27X parses the embedded sequential stand-in (after full-scan
+// conversion: 4+3 inputs, 1+3 outputs).
+func S27X() (*circuit.Circuit, error) {
+	return circuit.ParseBench("s27x", strings.NewReader(S27XBench))
+}

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", Inputs: 10, Outputs: 5, Gates: 100, Seed: 77}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa, sb strings.Builder
+	if err := circuit.WriteBench(&sa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := circuit.WriteBench(&sb, b); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Fatal("same spec produced different circuits")
+	}
+	spec.Seed = 78
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc strings.Builder
+	if err := circuit.WriteBench(&sc, c); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() == sc.String() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := Spec{Name: "shape", Inputs: 20, Outputs: 10, Gates: 300, Seed: 5}
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 20 || len(c.Outputs) != 10 || c.NumInternal() != 300 {
+		t.Fatalf("shape mismatch: %v", c)
+	}
+	if c.CheckTopological() != -1 {
+		t.Fatal("not topological")
+	}
+	if c.Stat().Levels < 5 {
+		t.Fatalf("suspiciously shallow: depth %d", c.Stat().Levels)
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	if _, err := Generate(Spec{Name: "bad", Inputs: 0, Outputs: 1, Gates: 1}); err == nil {
+		t.Fatal("zero inputs accepted")
+	}
+	if _, err := Generate(Spec{Name: "bad", Inputs: 1, Outputs: 0, Gates: 1}); err == nil {
+		t.Fatal("zero outputs accepted")
+	}
+}
+
+func TestSuiteGeneratesAll(t *testing.T) {
+	for _, spec := range Suite() {
+		if spec.Gates > 5000 && testing.Short() {
+			continue
+		}
+		c, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if c.NumInternal() != spec.Gates {
+			t.Fatalf("%s: %d gates, want %d", spec.Name, c.NumInternal(), spec.Gates)
+		}
+		// Simulate one vector to check evaluability.
+		vec := make([]bool, len(c.Inputs))
+		for i := range vec {
+			vec[i] = i%3 == 0
+		}
+		_ = sim.Eval(c, vec)
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("s298x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "s298x" {
+		t.Fatalf("name %q", c.Name)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestPaperScaleSpec(t *testing.T) {
+	s, ok := PaperScaleSpec("s38417x")
+	if !ok || s.Gates != 22179 {
+		t.Fatalf("paper-scale s38417x: %+v ok=%v", s, ok)
+	}
+	s2, ok := PaperScaleSpec("s1423x")
+	if !ok || s2.Gates != 657 {
+		t.Fatalf("paper-scale s1423x: %+v", s2)
+	}
+	if _, ok := PaperScaleSpec("zzz"); ok {
+		t.Fatal("unknown circuit resolved")
+	}
+}
+
+func TestEmbeddedC17(t *testing.T) {
+	c, err := C17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 || c.NumInternal() != 6 {
+		t.Fatalf("c17 shape: %v", c)
+	}
+	// Known c17 response: all-ones input gives G22=0? Compute ground
+	// truth by hand: G10=NAND(1,1)=0, G11=NAND(1,1)=0, G16=NAND(1,0)=1,
+	// G19=NAND(0,1)=1, G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+	outs := sim.Eval(c, []bool{true, true, true, true, true})
+	g22, _ := c.GateByName("G22")
+	g23, _ := c.GateByName("G23")
+	want := map[int]bool{g22: true, g23: false}
+	for i, o := range c.Outputs {
+		if outs[i] != want[o] {
+			t.Fatalf("c17 output %s = %v", c.Gates[o].Name, outs[i])
+		}
+	}
+}
+
+func TestEmbeddedS27X(t *testing.T) {
+	c, err := S27X()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 PIs + 3 pseudo-PIs; 1 PO + 3 pseudo-POs after full scan.
+	if len(c.Inputs) != 7 {
+		t.Fatalf("inputs = %d, want 7", len(c.Inputs))
+	}
+	if len(c.Outputs) != 4 {
+		t.Fatalf("outputs = %d, want 4", len(c.Outputs))
+	}
+}

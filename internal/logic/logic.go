@@ -1,0 +1,435 @@
+// Package logic defines the Boolean gate vocabulary shared by the whole
+// repository: gate kinds, their word-parallel evaluation, controlling
+// values for path tracing, and arbitrary truth-table functions used to
+// model design errors ("replacement of the function of a gate by another
+// arbitrary Boolean function", Fey et al., DATE 2006, Section 2.1).
+//
+// All evaluation is 64-way bit-parallel: one uint64 word carries the value
+// of a signal under 64 independent input patterns (bit i = pattern i).
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the function computed by a gate.
+type Kind uint8
+
+// The supported gate kinds. Input marks a primary (or pseudo-primary)
+// input; it computes nothing. TableKind marks a gate with an explicit
+// truth table (see Table), the error model for arbitrary function changes.
+const (
+	Input Kind = iota
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	TableKind
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	Input:     "INPUT",
+	Const0:    "CONST0",
+	Const1:    "CONST1",
+	Buf:       "BUF",
+	Not:       "NOT",
+	And:       "AND",
+	Nand:      "NAND",
+	Or:        "OR",
+	Nor:       "NOR",
+	Xor:       "XOR",
+	Xnor:      "XNOR",
+	TableKind: "TABLE",
+}
+
+// String returns the upper-case bench-style name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindByName resolves a bench-style gate name (case-insensitive).
+// It accepts the common aliases NOT/INV and BUF/BUFF.
+func KindByName(name string) (Kind, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "INPUT":
+		return Input, true
+	case "CONST0", "GND", "ZERO":
+		return Const0, true
+	case "CONST1", "VDD", "ONE":
+		return Const1, true
+	case "BUF", "BUFF", "WIRE":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR", "NXOR":
+		return Xnor, true
+	case "TABLE":
+		return TableKind, true
+	}
+	return 0, false
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// ArityOK reports whether a gate of kind k may have n fanins.
+func (k Kind) ArityOK(n int) bool {
+	switch k {
+	case Input, Const0, Const1:
+		return n == 0
+	case Buf, Not:
+		return n == 1
+	case And, Nand, Or, Nor, Xor, Xnor:
+		return n >= 1
+	case TableKind:
+		return n >= 0 && n <= MaxTableInputs
+	}
+	return false
+}
+
+// Inverting reports whether the kind complements the result of its
+// base function (NAND/NOR/XNOR/NOT).
+func (k Kind) Inverting() bool {
+	switch k {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// Controlling returns the controlling input value of the kind and whether
+// one exists. An input holding the controlling value determines the gate
+// output regardless of the other inputs (e.g. 0 for AND, 1 for OR); this
+// drives the marking rule of path tracing (Fig. 1 of the paper).
+func (k Kind) Controlling() (value bool, ok bool) {
+	switch k {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	}
+	return false, false
+}
+
+// EvalWord evaluates the kind over the fanin words in 64-way bit-parallel
+// fashion. Words beyond the kind's arity are ignored per ArityOK rules;
+// callers are expected to pass exactly the gate's fanin values.
+// TableKind gates must be evaluated with Table.EvalWord instead.
+func EvalWord(k Kind, in []uint64) uint64 {
+	switch k {
+	case Const0, Input:
+		// Inputs carry externally assigned values; evaluating one is a
+		// caller bug, but returning 0 keeps the simulator total.
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Buf:
+		return in[0]
+	case Not:
+		return ^in[0]
+	case And:
+		v := in[0]
+		for _, w := range in[1:] {
+			v &= w
+		}
+		return v
+	case Nand:
+		v := in[0]
+		for _, w := range in[1:] {
+			v &= w
+		}
+		return ^v
+	case Or:
+		v := in[0]
+		for _, w := range in[1:] {
+			v |= w
+		}
+		return v
+	case Nor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v |= w
+		}
+		return ^v
+	case Xor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v ^= w
+		}
+		return v
+	case Xnor:
+		v := in[0]
+		for _, w := range in[1:] {
+			v ^= w
+		}
+		return ^v
+	}
+	panic(fmt.Sprintf("logic: EvalWord on kind %v", k))
+}
+
+// EvalBit evaluates the kind on single-bit inputs.
+func EvalBit(k Kind, in []bool) bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	if k == Const1 {
+		return true
+	}
+	if k == Const0 || k == Input {
+		return false
+	}
+	return EvalWord(k, words)&1 == 1
+}
+
+// MaxTableInputs bounds the fanin of truth-table gates. 2^12 table rows
+// keep encoding and evaluation cheap while far exceeding realistic
+// benchmark fanins.
+const MaxTableInputs = 12
+
+// Table is an explicit truth table over n ordered inputs. Bit m of the
+// table (minterm m) is the output value when input i carries bit i of m.
+// It models the paper's error definition: replacing a gate's function by
+// an arbitrary Boolean function over the same fanins.
+type Table struct {
+	N    int      // number of inputs
+	Bits []uint64 // ceil(2^N / 64) words of output values, minterm-indexed
+}
+
+// NewTable returns an all-zero table over n inputs.
+func NewTable(n int) *Table {
+	if n < 0 || n > MaxTableInputs {
+		panic(fmt.Sprintf("logic: table with %d inputs", n))
+	}
+	rows := 1 << uint(n)
+	return &Table{N: n, Bits: make([]uint64, (rows+63)/64)}
+}
+
+// TableOf builds the truth table of kind k at arity n.
+func TableOf(k Kind, n int) *Table {
+	t := NewTable(n)
+	in := make([]bool, n)
+	for m := 0; m < 1<<uint(n); m++ {
+		for i := range in {
+			in[i] = m>>uint(i)&1 == 1
+		}
+		t.Set(m, EvalBit(k, in))
+	}
+	return t
+}
+
+// Rows returns the number of minterms (2^N).
+func (t *Table) Rows() int { return 1 << uint(t.N) }
+
+// Get returns the output for minterm m.
+func (t *Table) Get(m int) bool { return t.Bits[m/64]>>(uint(m)%64)&1 == 1 }
+
+// Set assigns the output for minterm m.
+func (t *Table) Set(m int, v bool) {
+	if v {
+		t.Bits[m/64] |= 1 << (uint(m) % 64)
+	} else {
+		t.Bits[m/64] &^= 1 << (uint(m) % 64)
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	c := &Table{N: t.N, Bits: make([]uint64, len(t.Bits))}
+	copy(c.Bits, t.Bits)
+	return c
+}
+
+// Equal reports whether two tables define the same function.
+func (t *Table) Equal(o *Table) bool {
+	if t.N != o.N {
+		return false
+	}
+	for i := range t.Bits {
+		if t.Bits[i] != o.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalWord evaluates the table in 64-way bit-parallel fashion.
+func (t *Table) EvalWord(in []uint64) uint64 {
+	if len(in) != t.N {
+		panic(fmt.Sprintf("logic: table arity %d evaluated with %d inputs", t.N, len(in)))
+	}
+	var out uint64
+	for bit := 0; bit < 64; bit++ {
+		m := 0
+		for i, w := range in {
+			m |= int(w>>uint(bit)&1) << uint(i)
+		}
+		if t.Get(m) {
+			out |= 1 << uint(bit)
+		}
+	}
+	return out
+}
+
+// EvalBit evaluates the table on single-bit inputs.
+func (t *Table) EvalBit(in []bool) bool {
+	if len(in) != t.N {
+		panic(fmt.Sprintf("logic: table arity %d evaluated with %d inputs", t.N, len(in)))
+	}
+	m := 0
+	for i, b := range in {
+		if b {
+			m |= 1 << uint(i)
+		}
+	}
+	return t.Get(m)
+}
+
+// String renders the table as a 2^N-character minterm string (LSB first).
+func (t *Table) String() string {
+	var sb strings.Builder
+	for m := 0; m < t.Rows(); m++ {
+		if t.Get(m) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Ternary value for 3-valued (0/1/X) simulation, used by the X-injection
+// style of effect analysis the paper cites ([5], Boppana et al.).
+type Ternary uint8
+
+// Ternary constants.
+const (
+	T0 Ternary = iota
+	T1
+	TX
+)
+
+// String returns "0", "1" or "X".
+func (v Ternary) String() string {
+	switch v {
+	case T0:
+		return "0"
+	case T1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// TernaryFromBool lifts a Boolean into the ternary domain.
+func TernaryFromBool(b bool) Ternary {
+	if b {
+		return T1
+	}
+	return T0
+}
+
+// TWord is a 64-way parallel ternary word in (zero-mask, one-mask) form.
+// Bit i set in Zero means pattern i is definitely 0; in One definitely 1;
+// in neither, X. A bit must never be set in both masks.
+type TWord struct {
+	Zero, One uint64
+}
+
+// TWordConst returns a TWord holding v in all 64 lanes.
+func TWordConst(v Ternary) TWord {
+	switch v {
+	case T0:
+		return TWord{Zero: ^uint64(0)}
+	case T1:
+		return TWord{One: ^uint64(0)}
+	default:
+		return TWord{}
+	}
+}
+
+// Get extracts the lane value at bit position i.
+func (w TWord) Get(i uint) Ternary {
+	switch {
+	case w.Zero>>i&1 == 1:
+		return T0
+	case w.One>>i&1 == 1:
+		return T1
+	default:
+		return TX
+	}
+}
+
+// EvalTernaryWord evaluates kind k over ternary fanin words using the
+// standard pessimistic 3-valued gate semantics.
+func EvalTernaryWord(k Kind, in []TWord) TWord {
+	switch k {
+	case Const0:
+		return TWordConst(T0)
+	case Const1:
+		return TWordConst(T1)
+	case Input:
+		return TWord{}
+	case Buf:
+		return in[0]
+	case Not:
+		return TWord{Zero: in[0].One, One: in[0].Zero}
+	case And, Nand:
+		zero, one := uint64(0), ^uint64(0)
+		for _, w := range in {
+			zero |= w.Zero
+			one &= w.One
+		}
+		if k == Nand {
+			zero, one = one, zero
+		}
+		return TWord{Zero: zero, One: one}
+	case Or, Nor:
+		zero, one := ^uint64(0), uint64(0)
+		for _, w := range in {
+			zero &= w.Zero
+			one |= w.One
+		}
+		if k == Nor {
+			zero, one = one, zero
+		}
+		return TWord{Zero: zero, One: one}
+	case Xor, Xnor:
+		// Known only where every input is known.
+		known := ^uint64(0)
+		parity := uint64(0)
+		for _, w := range in {
+			known &= w.Zero | w.One
+			parity ^= w.One
+		}
+		if k == Xnor {
+			parity = ^parity
+		}
+		return TWord{Zero: known &^ parity, One: known & parity}
+	}
+	panic(fmt.Sprintf("logic: EvalTernaryWord on kind %v", k))
+}

@@ -1,0 +1,260 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("round trip failed for %v: got %v ok=%v", k, got, ok)
+		}
+	}
+}
+
+func TestKindAliases(t *testing.T) {
+	cases := map[string]Kind{
+		"inv": Not, "INV": Not, "buff": Buf, "nxor": Xnor, " and ": And,
+	}
+	for name, want := range cases {
+		got, ok := KindByName(name)
+		if !ok || got != want {
+			t.Fatalf("KindByName(%q) = %v ok=%v, want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := KindByName("frobnicate"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestArityRules(t *testing.T) {
+	if Input.ArityOK(1) || !Input.ArityOK(0) {
+		t.Fatal("Input arity")
+	}
+	if Not.ArityOK(2) || !Not.ArityOK(1) {
+		t.Fatal("Not arity")
+	}
+	if !And.ArityOK(4) || And.ArityOK(0) {
+		t.Fatal("And arity")
+	}
+}
+
+func TestControllingValues(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		val  bool
+		ok   bool
+	}{
+		{And, false, true}, {Nand, false, true},
+		{Or, true, true}, {Nor, true, true},
+		{Xor, false, false}, {Xnor, false, false},
+		{Not, false, false}, {Buf, false, false},
+	}
+	for _, c := range cases {
+		v, ok := c.kind.Controlling()
+		if ok != c.ok || (ok && v != c.val) {
+			t.Fatalf("%v: controlling=(%v,%v), want (%v,%v)", c.kind, v, ok, c.val, c.ok)
+		}
+	}
+}
+
+func TestInverting(t *testing.T) {
+	for _, k := range []Kind{Not, Nand, Nor, Xnor} {
+		if !k.Inverting() {
+			t.Fatalf("%v should be inverting", k)
+		}
+	}
+	for _, k := range []Kind{Buf, And, Or, Xor} {
+		if k.Inverting() {
+			t.Fatalf("%v should not be inverting", k)
+		}
+	}
+}
+
+// TestEvalWordMatchesEvalBit: bit-parallel evaluation agrees with the
+// single-bit semantics on every lane, for all kinds and small arities.
+func TestEvalWordMatchesEvalBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kinds := []Kind{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for _, k := range kinds {
+		maxAr := 3
+		if k == Buf || k == Not {
+			maxAr = 1
+		}
+		for ar := 1; ar <= maxAr; ar++ {
+			if !k.ArityOK(ar) {
+				continue
+			}
+			words := make([]uint64, ar)
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			out := EvalWord(k, words)
+			for bit := uint(0); bit < 64; bit++ {
+				in := make([]bool, ar)
+				for i := range in {
+					in[i] = words[i]>>bit&1 == 1
+				}
+				if want := EvalBit(k, in); want != (out>>bit&1 == 1) {
+					t.Fatalf("%v arity %d lane %d: word=%v bit=%v", k, ar, bit, out>>bit&1 == 1, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// NAND(a,b) == OR(~a,~b) and NOR(a,b) == AND(~a,~b) on random words.
+	f := func(a, b uint64) bool {
+		nand := EvalWord(Nand, []uint64{a, b})
+		or := EvalWord(Or, []uint64{^a, ^b})
+		nor := EvalWord(Nor, []uint64{a, b})
+		and := EvalWord(And, []uint64{^a, ^b})
+		return nand == or && nor == and
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorChainProperty(t *testing.T) {
+	// XNOR is the complement of XOR for any arity.
+	f := func(a, b, c uint64) bool {
+		x := EvalWord(Xor, []uint64{a, b, c})
+		nx := EvalWord(Xnor, []uint64{a, b, c})
+		return x == ^nx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableOfMatchesKind(t *testing.T) {
+	for _, k := range []Kind{And, Nand, Or, Nor, Xor, Xnor} {
+		tab := TableOf(k, 2)
+		for m := 0; m < 4; m++ {
+			in := []bool{m&1 == 1, m&2 == 2}
+			if tab.Get(m) != EvalBit(k, in) {
+				t.Fatalf("%v minterm %d mismatch", k, m)
+			}
+		}
+	}
+}
+
+func TestTableEvalWordMatchesGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= 7; n++ {
+		tab := NewTable(n)
+		for m := 0; m < tab.Rows(); m++ {
+			tab.Set(m, rng.Intn(2) == 1)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		out := tab.EvalWord(words)
+		for bit := uint(0); bit < 64; bit++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = words[i]>>bit&1 == 1
+			}
+			if tab.EvalBit(in) != (out>>bit&1 == 1) {
+				t.Fatalf("n=%d lane %d mismatch", n, bit)
+			}
+		}
+	}
+}
+
+func TestTableCloneEqualString(t *testing.T) {
+	tab := TableOf(Xor, 3)
+	cl := tab.Clone()
+	if !tab.Equal(cl) {
+		t.Fatal("clone not equal")
+	}
+	cl.Set(0, !cl.Get(0))
+	if tab.Equal(cl) {
+		t.Fatal("mutated clone still equal")
+	}
+	if got := TableOf(And, 2).String(); got != "0001" {
+		t.Fatalf("AND table = %q, want 0001", got)
+	}
+	if got := TableOf(Or, 2).String(); got != "0111" {
+		t.Fatalf("OR table = %q, want 0111", got)
+	}
+}
+
+func TestTernaryBasics(t *testing.T) {
+	if T0.String() != "0" || T1.String() != "1" || TX.String() != "X" {
+		t.Fatal("ternary names")
+	}
+	if TernaryFromBool(true) != T1 || TernaryFromBool(false) != T0 {
+		t.Fatal("lift")
+	}
+	w := TWordConst(TX)
+	if w.Get(0) != TX || w.Get(63) != TX {
+		t.Fatal("X const")
+	}
+}
+
+// TestTernaryRefinementProperty: if the 3-valued evaluation yields a
+// definite value on a lane, then the 2-valued evaluation under any
+// refinement of the X inputs must agree.
+func TestTernaryRefinementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := []Kind{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for iter := 0; iter < 500; iter++ {
+		k := kinds[rng.Intn(len(kinds))]
+		ar := 1
+		if k != Buf && k != Not {
+			ar = 1 + rng.Intn(3)
+		}
+		tin := make([]TWord, ar)
+		vals := make([]Ternary, ar)
+		for i := range tin {
+			vals[i] = Ternary(rng.Intn(3))
+			tin[i] = TWordConst(vals[i])
+		}
+		out := EvalTernaryWord(k, tin).Get(0)
+		if out == TX {
+			continue
+		}
+		// Enumerate all refinements of X inputs.
+		nx := 0
+		for _, v := range vals {
+			if v == TX {
+				nx++
+			}
+		}
+		for m := 0; m < 1<<uint(nx); m++ {
+			in := make([]bool, ar)
+			xi := 0
+			for i, v := range vals {
+				switch v {
+				case T1:
+					in[i] = true
+				case T0:
+					in[i] = false
+				default:
+					in[i] = m>>uint(xi)&1 == 1
+					xi++
+				}
+			}
+			got := EvalBit(k, in)
+			if TernaryFromBool(got) != out {
+				t.Fatalf("%v %v: ternary says %v, refinement %v gives %v", k, vals, out, in, got)
+			}
+		}
+	}
+}
+
+func TestEvalTernaryConsts(t *testing.T) {
+	if EvalTernaryWord(Const0, nil).Get(5) != T0 {
+		t.Fatal("const0")
+	}
+	if EvalTernaryWord(Const1, nil).Get(5) != T1 {
+		t.Fatal("const1")
+	}
+}

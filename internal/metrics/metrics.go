@@ -1,0 +1,164 @@
+// Package metrics computes the diagnosis-quality measures of the paper's
+// Table 3: for BSIM the size of the marked set, the average distance of
+// marked gates to the nearest actual error, and the statistics of the
+// maximally marked gates Gmax; for COV and BSAT the number of solutions
+// and the minimum/maximum/average over solutions of the per-solution
+// average distance to the nearest error. "Distance" is the length of a
+// shortest path in the gate connection graph to any error site — the
+// depth a designer must inspect starting from a reported candidate.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// DistanceMap holds per-gate distances to the nearest error site.
+type DistanceMap struct {
+	Dist []int
+}
+
+// NewDistanceMap computes distances from every gate to the nearest of
+// the given error sites (BFS over the undirected gate graph).
+func NewDistanceMap(c *circuit.Circuit, sites []int) *DistanceMap {
+	return &DistanceMap{Dist: c.Distances(sites)}
+}
+
+// Of returns the distance of gate g (-1 if unreachable).
+func (d *DistanceMap) Of(g int) int { return d.Dist[g] }
+
+// avg returns the mean of the distances of the given gates; unreachable
+// gates are ignored. Returns NaN for an empty effective set.
+func (d *DistanceMap) avg(gates []int) float64 {
+	sum, n := 0, 0
+	for _, g := range gates {
+		if d.Dist[g] >= 0 {
+			sum += d.Dist[g]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(sum) / float64(n)
+}
+
+// minMax returns the extrema of the distances of the gates (-1/-1 when
+// empty); unreachable gates are ignored.
+func (d *DistanceMap) minMax(gates []int) (min, max int) {
+	min, max = -1, -1
+	for _, g := range gates {
+		dist := d.Dist[g]
+		if dist < 0 {
+			continue
+		}
+		if min == -1 || dist < min {
+			min = dist
+		}
+		if dist > max {
+			max = dist
+		}
+	}
+	return min, max
+}
+
+// BSIMQuality holds the BSIM columns of Table 3.
+type BSIMQuality struct {
+	UnionSize int     // |∪ Ci|: total gates marked by PT
+	AvgAll    float64 // avgA: mean distance of all marked gates to the nearest error
+	GmaxSize  int     // number of gates marked by the maximal number of tests
+	GminDist  int     // min distance among Gmax gates (> 0 means no actual site has max marks)
+	GmaxDist  int     // max distance among Gmax gates
+	GavgDist  float64 // avgG: mean distance among Gmax gates
+}
+
+// MeasureBSIM computes the BSIM quality statistics.
+func MeasureBSIM(c *circuit.Circuit, res *core.BSIMResult, sites []int) BSIMQuality {
+	d := NewDistanceMap(c, sites)
+	union := res.Union()
+	gmax := res.MaxMarked()
+	min, max := d.minMax(gmax)
+	return BSIMQuality{
+		UnionSize: len(union),
+		AvgAll:    d.avg(union),
+		GmaxSize:  len(gmax),
+		GminDist:  min,
+		GmaxDist:  max,
+		GavgDist:  d.avg(gmax),
+	}
+}
+
+// SolutionQuality holds the COV/BSAT columns of Table 3: per solution,
+// the average distance a of its gates to the nearest error is computed;
+// reported are the number of solutions and min/max/avg of a.
+type SolutionQuality struct {
+	NumSolutions int
+	MinAvg       float64
+	MaxAvg       float64
+	AvgAvg       float64
+	Complete     bool
+}
+
+// MeasureSolutions computes the solution quality statistics.
+func MeasureSolutions(c *circuit.Circuit, ss *core.SolutionSet, sites []int) SolutionQuality {
+	d := NewDistanceMap(c, sites)
+	q := SolutionQuality{NumSolutions: len(ss.Solutions), Complete: ss.Complete,
+		MinAvg: math.NaN(), MaxAvg: math.NaN(), AvgAvg: math.NaN()}
+	if len(ss.Solutions) == 0 {
+		return q
+	}
+	sum := 0.0
+	n := 0
+	for _, sol := range ss.Solutions {
+		a := d.avg(sol.Gates)
+		if math.IsNaN(a) {
+			continue
+		}
+		if n == 0 || a < q.MinAvg {
+			q.MinAvg = a
+		}
+		if n == 0 || a > q.MaxAvg {
+			q.MaxAvg = a
+		}
+		sum += a
+		n++
+	}
+	if n > 0 {
+		q.AvgAvg = sum / float64(n)
+	}
+	return q
+}
+
+// HitRate reports the fraction of solutions containing at least one
+// actual error site — an additional resolution measure used in
+// EXPERIMENTS.md beyond the paper's distance columns.
+func HitRate(ss *core.SolutionSet, sites []int) float64 {
+	if len(ss.Solutions) == 0 {
+		return math.NaN()
+	}
+	siteSet := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		siteSet[s] = true
+	}
+	hits := 0
+	for _, sol := range ss.Solutions {
+		for _, g := range sol.Gates {
+			if siteSet[g] {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(ss.Solutions))
+}
+
+// Fmt renders a float stat with two decimals, or "-" for NaN.
+func Fmt(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// chain builds i -> g0 -> g1 -> g2 -> g3 (output).
+func chain(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("chain")
+	in := b.Input("i")
+	g0 := b.Gate(logic.Not, "g0", in)
+	g1 := b.Gate(logic.Not, "g1", g0)
+	g2 := b.Gate(logic.Not, "g2", g1)
+	g3 := b.Gate(logic.Not, "g3", g2)
+	b.Output(g3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDistanceMap(t *testing.T) {
+	c := chain(t)
+	g1, _ := c.GateByName("g1")
+	g3, _ := c.GateByName("g3")
+	d := NewDistanceMap(c, []int{g1})
+	if d.Of(g1) != 0 || d.Of(g3) != 2 {
+		t.Fatalf("distances: g1=%d g3=%d", d.Of(g1), d.Of(g3))
+	}
+}
+
+func TestMeasureBSIM(t *testing.T) {
+	c := chain(t)
+	g0, _ := c.GateByName("g0")
+	g1, _ := c.GateByName("g1")
+	g2, _ := c.GateByName("g2")
+	g3, _ := c.GateByName("g3")
+	res := &core.BSIMResult{
+		Sets:      [][]int{{g2, g3}, {g1, g2, g3}},
+		MarkCount: make([]int, c.NumGates()),
+	}
+	for _, set := range res.Sets {
+		for _, g := range set {
+			res.MarkCount[g]++
+		}
+	}
+	q := MeasureBSIM(c, res, []int{g0})
+	if q.UnionSize != 3 {
+		t.Fatalf("union = %d", q.UnionSize)
+	}
+	// distances from g0: g1=1, g2=2, g3=3 -> avgA = 2.
+	if q.AvgAll != 2 {
+		t.Fatalf("avgA = %v", q.AvgAll)
+	}
+	// Gmax = {g2, g3} (marked twice): distances 2,3.
+	if q.GmaxSize != 2 || q.GminDist != 2 || q.GmaxDist != 3 || q.GavgDist != 2.5 {
+		t.Fatalf("Gmax stats %+v", q)
+	}
+}
+
+func TestMeasureSolutions(t *testing.T) {
+	c := chain(t)
+	g0, _ := c.GateByName("g0")
+	g1, _ := c.GateByName("g1")
+	g3, _ := c.GateByName("g3")
+	ss := &core.SolutionSet{
+		Solutions: []core.Correction{
+			core.NewCorrection([]int{g0}),     // avg 0
+			core.NewCorrection([]int{g1, g3}), // avg (1+3)/2 = 2
+		},
+		Complete: true,
+	}
+	q := MeasureSolutions(c, ss, []int{g0})
+	if q.NumSolutions != 2 || !q.Complete {
+		t.Fatalf("%+v", q)
+	}
+	if q.MinAvg != 0 || q.MaxAvg != 2 || q.AvgAvg != 1 {
+		t.Fatalf("min/max/avg = %v/%v/%v", q.MinAvg, q.MaxAvg, q.AvgAvg)
+	}
+}
+
+func TestMeasureSolutionsEmpty(t *testing.T) {
+	c := chain(t)
+	g0, _ := c.GateByName("g0")
+	q := MeasureSolutions(c, &core.SolutionSet{}, []int{g0})
+	if q.NumSolutions != 0 || !math.IsNaN(q.MinAvg) {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := chain(t)
+	g0, _ := c.GateByName("g0")
+	g1, _ := c.GateByName("g1")
+	g2, _ := c.GateByName("g2")
+	ss := &core.SolutionSet{Solutions: []core.Correction{
+		core.NewCorrection([]int{g0}),
+		core.NewCorrection([]int{g1}),
+		core.NewCorrection([]int{g0, g2}),
+		core.NewCorrection([]int{g2}),
+	}}
+	if got := HitRate(ss, []int{g0}); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+	if !math.IsNaN(HitRate(&core.SolutionSet{}, []int{g0})) {
+		t.Fatal("empty hit rate should be NaN")
+	}
+}
+
+func TestFmt(t *testing.T) {
+	if Fmt(math.NaN()) != "-" {
+		t.Fatal("NaN formatting")
+	}
+	if Fmt(1.234) != "1.23" {
+		t.Fatalf("got %q", Fmt(1.234))
+	}
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// The header line ("p cnf <vars> <clauses>") is honoured for variable
+// pre-allocation but clause counts are not enforced strictly.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var clause []Lit
+	declared := 0
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs:%d: malformed problem line %q", lineno, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs:%d: bad variable count", lineno)
+			}
+			declared = n
+			for s.NumVars() < declared {
+				s.NewVar()
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs:%d: bad literal %q", lineno, tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			abs := v
+			if abs < 0 {
+				abs = -abs
+			}
+			for s.NumVars() < abs {
+				s.NewVar()
+			}
+			clause = append(clause, MkLit(Var(abs-1), v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...)
+	}
+	return s, nil
+}
+
+// WriteDIMACS renders the solver's problem clauses (and level-0 unit
+// facts) in DIMACS format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	units := 0
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			units++
+		}
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units)
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			fmt.Fprintf(bw, "%s 0\n", l)
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			fmt.Fprintf(bw, "%s ", l)
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,820 @@
+package sat
+
+import (
+	"time"
+)
+
+// Solver is an incremental CDCL SAT solver. Construct with New; add
+// variables with NewVar and clauses with AddClause; query with Solve,
+// possibly under assumptions; read the model with Value. Clauses may be
+// added between Solve calls (the incremental usage the diagnosis
+// enumeration relies on). A Solver is not safe for concurrent use.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watch
+
+	assigns  []LBool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varHeap
+	polarity []bool
+	decision []bool
+
+	clauseInc float64
+
+	seen      []byte
+	toClear   []Var
+	learntBuf []Lit
+
+	ok          bool
+	assumptions []Lit
+	conflictSet []Lit // failed-assumption core after StatusUnsat under assumptions
+
+	model []LBool
+
+	// Budgets; zero values mean unlimited.
+	MaxConflicts int64     // per-Solve conflict budget
+	Deadline     time.Time // wall-clock cutoff, checked between restarts
+
+	// Heuristic switches (enabled by default in New).
+	ClauseMinimize bool
+	PhaseSaving    bool
+
+	Stats Stats
+
+	maxLearnts    float64
+	simpDBAssigns int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		ok:             true,
+		varInc:         1,
+		clauseInc:      1,
+		ClauseMinimize: true,
+		PhaseSaving:    true,
+		simpDBAssigns:  -1,
+	}
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, LUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: negative (MiniSat style)
+	s.decision = append(s.decision, true)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v, s.activity)
+	return v
+}
+
+// NewVars introduces n fresh variables and returns the first.
+func (s *Solver) NewVars(n int) Var {
+	first := Var(len(s.assigns))
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return first
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently stored
+// (level-0-satisfied clauses may have been simplified away).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of retained learnt clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Okay reports whether the clause database is not yet known unsatisfiable.
+func (s *Solver) Okay() bool { return s.ok }
+
+func (s *Solver) value(l Lit) LBool  { return s.assigns[l.Var()].xorSign(l.Sign()) }
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+func (s *Solver) varLevel(v Var) int { return int(s.level[v]) }
+func (s *Solver) abstractLevelOK(v Var, mask uint32) bool {
+	return mask&(1<<uint(s.level[v]&31)) != 0
+}
+
+// Value returns the model value of v after a StatusSat Solve.
+func (s *Solver) Value(v Var) LBool {
+	if int(v) < len(s.model) {
+		return s.model[v]
+	}
+	return LUndef
+}
+
+// ValueLit returns the model value of a literal after StatusSat.
+func (s *Solver) ValueLit(l Lit) LBool {
+	return s.Value(l.Var()).xorSign(l.Sign())
+}
+
+// ConflictSet returns the subset of the assumptions under which the last
+// Solve proved unsatisfiability (a failed-assumption core, negated form).
+func (s *Solver) ConflictSet() []Lit { return s.conflictSet }
+
+// SetPolarity fixes the saved phase of v: the value the solver tries
+// first when branching on v. Hybrid diagnosis uses this to steer the
+// search toward simulation-derived candidate sets.
+func (s *Solver) SetPolarity(v Var, val bool) { s.polarity[v] = !val }
+
+// BumpActivity increases the VSIDS activity of v by amount times the
+// current bump increment, so hot variables are branched on first.
+func (s *Solver) BumpActivity(v Var, amount float64) {
+	s.bumpVarBy(v, amount*s.varInc)
+}
+
+// AddClause adds a clause over the given literals. It reports false if
+// the database has become trivially unsatisfiable. The solver must be
+// between Solve calls (decision level 0).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	if !s.ok {
+		return false
+	}
+	// Sort, dedupe, drop false literals, detect satisfied/tautological.
+	ls := append(s.learntBuf[:0], lits...)
+	insertionSortLits(ls)
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l.Var() < 0 || int(l.Var()) >= len(s.assigns) {
+			panic("sat: clause literal over undeclared variable")
+		}
+		switch {
+		case s.value(l) == LTrue || l == prev.Neg():
+			return true // satisfied or tautology
+		case s.value(l) == LFalse || l == prev:
+			continue // falsified at level 0, or duplicate
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func insertionSortLits(ls []Lit) {
+	for i := 1; i < len(ls); i++ {
+		x := ls[i]
+		j := i - 1
+		for j >= 0 && ls[j] > x {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = x
+	}
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watch{c, c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watch{c, c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = LFalse
+	} else {
+		s.assigns[v] = LTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the trail; it returns a
+// conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	var confl *clause
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		n := 0
+	nextWatch:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == LTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			// Ensure the falsified literal ~p sits at position 1.
+			np := p.Neg()
+			if lits[0] == np {
+				lits[0], lits[1] = lits[1], np
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == LTrue {
+				ws[n] = watch{c, first}
+				n++
+				continue
+			}
+			// Look for a non-false replacement watch.
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != LFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watch{c, first})
+					continue nextWatch
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watch{c, first}
+			n++
+			if s.value(first) == LFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				// Keep remaining watches.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if s.PhaseSaving {
+			s.polarity[v] = s.assigns[v] == LFalse
+		}
+		s.assigns[v] = LUndef
+		s.reason[v] = nil
+		s.order.insert(v, s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVarBy(v Var, inc float64) {
+	s.activity[v] += inc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, s.activity)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += float32(s.clauseInc)
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+const (
+	varDecay    = 1 / 0.95
+	clauseDecay = 1 / 0.999
+)
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := append(s.learntBuf[:0], LitUndef) // placeholder for the asserting literal
+	pathC := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != LitUndef {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.bumpVarBy(v, s.varInc)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Conflict-clause minimization: drop literals implied by the rest.
+	s.toClear = s.toClear[:0]
+	for _, l := range learnt {
+		s.seen[l.Var()] = 1
+		s.toClear = append(s.toClear, l.Var())
+	}
+	if s.ClauseMinimize {
+		var mask uint32
+		for _, l := range learnt[1:] {
+			mask |= 1 << uint(s.level[l.Var()]&31)
+		}
+		n := 1
+		for _, l := range learnt[1:] {
+			if s.reason[l.Var()] == nil || !s.litRedundant(l, mask) {
+				learnt[n] = l
+				n++
+			} else {
+				s.Stats.MinimizedLit++
+			}
+		}
+		learnt = learnt[:n]
+	}
+	for _, v := range s.toClear {
+		s.seen[v] = 0
+	}
+	s.learntBuf = learnt
+
+	// Backtrack level: highest level among the non-asserting literals.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+	return learnt, bt
+}
+
+// litRedundant checks (recursively, with an explicit stack) whether l is
+// implied by seen literals, so it can be removed from the learnt clause.
+func (s *Solver) litRedundant(l Lit, mask uint32) bool {
+	type frame struct {
+		c *clause
+		i int
+	}
+	stack := []frame{{s.reason[l.Var()], 1}}
+	top := len(s.toClear)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i >= len(f.c.lits) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		q := f.c.lits[f.i]
+		f.i++
+		v := q.Var()
+		if s.seen[v] != 0 || s.level[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil || !s.abstractLevelOK(v, mask) {
+			// Not removable: undo the tentative marks.
+			for _, u := range s.toClear[top:] {
+				s.seen[u] = 0
+			}
+			s.toClear = s.toClear[:top]
+			return false
+		}
+		s.seen[v] = 1
+		s.toClear = append(s.toClear, v)
+		stack = append(stack, frame{s.reason[v], 1})
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s2 := make(map[int32]struct{}, 8)
+	for _, l := range lits {
+		s2[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(s2))
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring high
+// LBD and low activity; reason clauses and glue clauses survive.
+func (s *Solver) reduceDB() {
+	s.Stats.Reduces++
+	locked := func(c *clause) bool {
+		return s.value(c.lits[0]) == LTrue && s.reason[c.lits[0].Var()] == c
+	}
+	sortClauses(s.learnts)
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if c.lbd <= 2 || locked(c) || len(c.lits) == 2 || i >= limit {
+			keep = append(keep, c)
+		}
+	}
+	s.learnts = append([]*clause(nil), keep...)
+	s.rebuildWatches()
+}
+
+// sortClauses orders worst-first: high LBD then low activity.
+func sortClauses(cs []*clause) {
+	less := func(a, b *clause) bool {
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		return a.act < b.act
+	}
+	// Simple binary-insertion-free heapless sort: use sort.Slice-alike via
+	// plain quicksort to avoid reflection-heavy sort for hot path.
+	quickSortClauses(cs, less)
+}
+
+func quickSortClauses(cs []*clause, less func(a, b *clause) bool) {
+	for len(cs) > 12 {
+		p := cs[len(cs)/2]
+		i, j := 0, len(cs)-1
+		for i <= j {
+			for less(cs[i], p) {
+				i++
+			}
+			for less(p, cs[j]) {
+				j--
+			}
+			if i <= j {
+				cs[i], cs[j] = cs[j], cs[i]
+				i++
+				j--
+			}
+		}
+		if j > len(cs)-i {
+			quickSortClauses(cs[i:], less)
+			cs = cs[:j+1]
+		} else {
+			quickSortClauses(cs[:j+1], less)
+			cs = cs[i:]
+		}
+	}
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && less(c, cs[j]) {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}
+
+func (s *Solver) rebuildWatches() {
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+}
+
+// simplify removes clauses satisfied at level 0. Called between restarts
+// when new top-level facts arrived — the "unit literals are not further
+// considered after preprocessing" effect the paper notes for BSAT
+// instances.
+func (s *Solver) simplify() {
+	if s.decisionLevel() != 0 || !s.ok {
+		return
+	}
+	if len(s.trail) == s.simpDBAssigns {
+		return
+	}
+	s.Stats.Simplifies++
+	s.clauses = s.removeSatisfied(s.clauses)
+	s.learnts = s.removeSatisfied(s.learnts)
+	s.rebuildWatches()
+	s.simpDBAssigns = len(s.trail)
+}
+
+func (s *Solver) removeSatisfied(cs []*clause) []*clause {
+	keep := cs[:0]
+outer:
+	for _, c := range cs {
+		for _, l := range c.lits {
+			if s.value(l) == LTrue && s.level[l.Var()] == 0 {
+				continue outer
+			}
+		}
+		// Drop level-0 falsified literals beyond the watched positions.
+		n := 2
+		for i := 2; i < len(c.lits); i++ {
+			l := c.lits[i]
+			if !(s.value(l) == LFalse && s.level[l.Var()] == 0) {
+				c.lits[n] = l
+				n++
+			}
+		}
+		c.lits = c.lits[:n]
+		keep = append(keep, c)
+	}
+	return append([]*clause(nil), keep...)
+}
+
+// Solve determines satisfiability under the given assumptions. On
+// StatusSat the model is available through Value; on StatusUnsat under
+// assumptions, ConflictSet holds a failed-assumption core. StatusUnknown
+// reports an expired budget; the solver remains usable.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return StatusUnsat
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.conflictSet = s.conflictSet[:0]
+	defer s.cancelUntil(0)
+
+	if s.propagate() != nil {
+		s.ok = false
+		return StatusUnsat
+	}
+
+	startConflicts := s.Stats.Conflicts
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 5000 {
+			s.maxLearnts = 5000
+		}
+	}
+	for restart := int64(1); ; restart++ {
+		budget := int64(-1)
+		if s.MaxConflicts > 0 {
+			budget = startConflicts + s.MaxConflicts - s.Stats.Conflicts
+			if budget <= 0 {
+				return StatusUnknown
+			}
+		}
+		limit := luby(restart) * 100
+		if budget >= 0 && limit > budget {
+			limit = budget
+		}
+		st := s.search(int(limit))
+		if st != StatusUnknown {
+			return st
+		}
+		s.Stats.Restarts++
+		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			return StatusUnknown
+		}
+		if s.MaxConflicts > 0 && s.Stats.Conflicts-startConflicts >= s.MaxConflicts {
+			return StatusUnknown
+		}
+	}
+}
+
+// search runs CDCL until a verdict, a restart (after nConflicts
+// conflicts), or an expired budget.
+func (s *Solver) search(nConflicts int) Status {
+	conflicts := 0
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return StatusUnsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+				s.Stats.Learnt++
+				s.Stats.LearntLits += int64(len(learnt))
+			}
+			s.varInc *= varDecay
+			s.clauseInc *= clauseDecay
+			continue
+		}
+
+		// No conflict.
+		if conflicts >= nConflicts {
+			s.cancelUntil(0)
+			return StatusUnknown
+		}
+		if s.decisionLevel() == 0 {
+			s.simplify()
+			if !s.ok {
+				return StatusUnsat
+			}
+		}
+		if float64(len(s.learnts))-float64(len(s.trail)) >= s.maxLearnts {
+			s.maxLearnts *= 1.1
+			s.reduceDB()
+		}
+
+		// Decide: assumptions first, then VSIDS.
+		var next Lit = LitUndef
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case LTrue:
+				s.newDecisionLevel() // dummy level for satisfied assumption
+			case LFalse:
+				s.analyzeFinal(p.Neg())
+				return StatusUnsat
+			default:
+				next = p
+			}
+			if next != LitUndef {
+				break
+			}
+		}
+		if next == LitUndef {
+			for !s.order.empty() {
+				v := s.order.removeMax(s.activity)
+				if s.assigns[v] == LUndef && s.decision[v] {
+					next = MkLit(v, s.polarity[v])
+					break
+				}
+			}
+			if next == LitUndef {
+				// All variables assigned: model found.
+				s.model = append(s.model[:0], s.assigns...)
+				return StatusSat
+			}
+		}
+		s.Stats.Decisions++
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// analyzeFinal computes the failed-assumption core when assumption p
+// (negated form supplied) conflicts with the current state.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflictSet = append(s.conflictSet[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			if s.level[v] > 0 {
+				s.conflictSet = append(s.conflictSet, s.trail[i].Neg())
+			}
+		} else {
+			for _, l := range s.reason[v].lits[1:] {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+// varHeap is an indexed max-heap over variable activity with
+// deterministic tie-breaking (lower variable index wins).
+type varHeap struct {
+	heap []Var
+	pos  []int32
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) insert(v Var, act []float64) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.up(int(h.pos[v]), act)
+}
+
+func (h *varHeap) update(v Var, act []float64) {
+	if h.contains(v) {
+		h.up(int(h.pos[v]), act)
+	}
+}
+
+func (h *varHeap) removeMax(act []float64) Var {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return v
+}
+
+func heapLess(a, b Var, act []float64) bool {
+	if act[a] != act[b] {
+		return act[a] > act[b]
+	}
+	return a < b
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(v, h.heap[parent], act) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.pos[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.heap[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			break
+		}
+		best := l
+		if r := l + 1; r < len(h.heap) && heapLess(h.heap[r], h.heap[l], act) {
+			best = r
+		}
+		if !heapLess(h.heap[best], v, act) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.pos[h.heap[i]] = int32(i)
+		i = best
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}

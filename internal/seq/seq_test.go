@@ -1,0 +1,253 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// counterBench is a 2-bit counter with enable: on each clock, if en then
+// (b1,b0) increments; out flags state 11.
+const counterBench = `# 2-bit counter
+INPUT(en)
+OUTPUT(out)
+b0 = DFF(n0)
+b1 = DFF(n1)
+n0 = XOR(b0, en)
+carry = AND(b0, en)
+n1 = XOR(b1, carry)
+out = AND(b0, b1)
+`
+
+func counter(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.ParseBench("counter", strings.NewReader(counterBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Latches) != 2 {
+		t.Fatalf("latches = %d, want 2", len(c.Latches))
+	}
+	return c
+}
+
+func TestSimulateCounter(t *testing.T) {
+	c := counter(t)
+	// Enable for 4 cycles from 00: states 01, 10, 11, 00; out flags the
+	// state *before* the clock edge, so out = state==11 at each frame.
+	vectors := [][]bool{{true}, {true}, {true}, {true}}
+	outs, err := Simulate(c, []bool{false, false}, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out observes the current state: 00,01,10,11 -> false,false,false,true.
+	want := []bool{false, false, false, true}
+	for f := range want {
+		if outs[f][0] != want[f] {
+			t.Fatalf("frame %d: out=%v want %v (outs=%v)", f, outs[f][0], want[f], outs)
+		}
+	}
+	// Disabled: state never changes.
+	outs2, err := Simulate(c, []bool{true, true}, [][]bool{{false}, {false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs2[0][0] || !outs2[1][0] {
+		t.Fatalf("disabled counter drifted: %v", outs2)
+	}
+}
+
+func TestUnrollMatchesSequentialSimulation(t *testing.T) {
+	c := counter(t)
+	const frames = 5
+	u, err := Unroll(c, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Comb.CheckTopological(); got != -1 {
+		t.Fatal("unrolled circuit not topological")
+	}
+	// Unrolled input count: 2 initial + 1 PI per frame.
+	if len(u.Comb.Inputs) != 2+frames {
+		t.Fatalf("unrolled inputs = %d", len(u.Comb.Inputs))
+	}
+	// Compare unrolled combinational outputs with sequential simulation
+	// for all 2^5 enable patterns and all 4 initial states.
+	for init := 0; init < 4; init++ {
+		initial := []bool{init&1 == 1, init&2 == 2}
+		for m := 0; m < 1<<frames; m++ {
+			vectors := make([][]bool, frames)
+			for f := range vectors {
+				vectors[f] = []bool{m>>uint(f)&1 == 1}
+			}
+			seqOuts, err := Simulate(c, initial, vectors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for f := 0; f < frames; f++ {
+				test := Test{Initial: initial, Vectors: vectors, Frame: f,
+					Output: u.RealOutputs()[0], Want: seqOuts[f][0]}
+				ct, err := u.CombTest(test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := evalComb(t, u, ct)
+				if got != seqOuts[f][0] {
+					t.Fatalf("init=%d m=%b frame=%d: unrolled %v, sequential %v", init, m, f, got, seqOuts[f][0])
+				}
+			}
+		}
+	}
+}
+
+func evalComb(t *testing.T, u *Unrolled, ct circuit.Test) bool {
+	t.Helper()
+	s := sim.New(u.Comb)
+	s.RunVector(ct.Vector)
+	return s.OutputBit(ct.Output)
+}
+
+func TestGenerateTestsFindsFailures(t *testing.T) {
+	c := counter(t)
+	faulty := c.Clone()
+	carry, _ := faulty.GateByName("carry")
+	faulty.Gates[carry].Kind = logic.Or // counter now skips states
+	tests, err := GenerateTests(c, faulty, GenOptions{Count: 6, Frames: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) == 0 {
+		t.Fatal("no failing sequences")
+	}
+	// Every test must actually fail on the faulty circuit.
+	for i, test := range tests {
+		fOuts, err := Simulate(faulty, test.Initial, test.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gOuts, err := Simulate(c, test.Initial, test.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Output index 0 is the only real PO here.
+		if gOuts[test.Frame][0] != test.Want || fOuts[test.Frame][0] == test.Want {
+			t.Fatalf("test %d is not a failing test", i)
+		}
+	}
+}
+
+func TestSequentialBSATFindsInjectedError(t *testing.T) {
+	c := counter(t)
+	faulty := c.Clone()
+	site, _ := faulty.GateByName("carry")
+	faulty.Gates[site].Kind = logic.Or
+	const frames = 4
+	tests, err := GenerateTests(c, faulty, GenOptions{Count: 6, Frames: frames, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, u, err := BSAT(faulty, tests, frames, core.BSATOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || len(res.Solutions) == 0 {
+		t.Fatalf("no solutions (complete=%v)", res.Complete)
+	}
+	foundSite := false
+	for _, sol := range res.Solutions {
+		// Labels are original gate IDs.
+		for _, g := range sol.Gates {
+			if g == site {
+				foundSite = true
+			}
+		}
+		// Every solution must validate on the unrolled circuit.
+		ok, err := Validate(u, tests, sol.Gates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("solution %v failed sequential effect analysis", sol)
+		}
+	}
+	if !foundSite {
+		t.Fatalf("actual error site %d not among solutions %v", site, res.Solutions)
+	}
+}
+
+func TestSequentialBSATOnEmbeddedS27x(t *testing.T) {
+	c, err := gen.S27X()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, fs, err := faults.Inject(c, faults.Options{Count: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 3
+	tests, err := GenerateTests(c, faulty, GenOptions{Count: 4, Frames: frames, Seed: 3})
+	if err != nil {
+		t.Skipf("fault not observable sequentially: %v", err)
+	}
+	res, u, err := BSAT(faulty, tests, frames, core.BSATOptions{K: 1, MaxSolutions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) == 0 {
+		t.Fatal("no sequential solutions")
+	}
+	for _, sol := range res.Solutions {
+		ok, err := Validate(u, tests, sol.Gates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("solution %v invalid", sol)
+		}
+	}
+	// The real site should be among the solutions (k=1, complete).
+	if res.Complete {
+		found := false
+		for _, sol := range res.Solutions {
+			if sol.Contains(fs.Sites()[0]) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("site %v missing from %v", fs.Sites(), res.Solutions)
+		}
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	c := counter(t)
+	if _, err := Unroll(c, 0); err == nil {
+		t.Fatal("frames=0 accepted")
+	}
+	u, err := Unroll(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.CombTest(Test{Initial: []bool{false, false}, Vectors: [][]bool{{true}}}); err == nil {
+		t.Fatal("wrong vector count accepted")
+	}
+	if _, err := u.CombTest(Test{Initial: []bool{false, false}, Vectors: [][]bool{{true}, {true}}, Frame: 5}); err == nil {
+		t.Fatal("bad frame accepted")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	c := counter(t)
+	if _, err := Simulate(c, []bool{false}, [][]bool{{true}}); err == nil {
+		t.Fatal("wrong initial-state width accepted")
+	}
+	if _, err := Simulate(c, []bool{false, false}, [][]bool{{}}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package sim provides the fast simulation engines the simulation-based
+// diagnosis approaches rely on: a 64-way bit-parallel two-valued
+// simulator, forced-value simulation (the what-if engine behind effect
+// analysis), and a three-valued X simulator in the style of the
+// X-injection diagnosis the paper cites.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Simulator evaluates a circuit over 64 patterns at a time. The zero
+// value is not usable; construct with New. A Simulator is not safe for
+// concurrent use; create one per goroutine.
+type Simulator struct {
+	c    *circuit.Circuit
+	vals []uint64
+	fan  []uint64 // scratch fanin buffer
+}
+
+// New returns a simulator for c.
+func New(c *circuit.Circuit) *Simulator {
+	maxFanin := 1
+	for i := range c.Gates {
+		if n := len(c.Gates[i].Fanin); n > maxFanin {
+			maxFanin = n
+		}
+	}
+	return &Simulator{
+		c:    c,
+		vals: make([]uint64, len(c.Gates)),
+		fan:  make([]uint64, maxFanin),
+	}
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// Run evaluates the circuit on up to 64 patterns. inputs holds one word
+// per circuit input (by position in Circuit.Inputs); bit i of each word is
+// the value of that input under pattern i.
+func (s *Simulator) Run(inputs []uint64) {
+	s.RunForced(inputs, nil)
+}
+
+// Forced assigns an overriding value word to a gate output; used to
+// inject corrections ("what-if" effect analysis) and error models at the
+// value level without rebuilding the circuit.
+type Forced struct {
+	Gate  int
+	Value uint64
+}
+
+// RunForced evaluates the circuit with the outputs of the forced gates
+// overridden by the given words. Forcing an input gate overrides the
+// corresponding word in inputs.
+func (s *Simulator) RunForced(inputs []uint64, forced []Forced) {
+	c := s.c
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: %d input words for %d inputs", len(inputs), len(c.Inputs)))
+	}
+	var force map[int]uint64
+	if len(forced) > 0 {
+		force = make(map[int]uint64, len(forced))
+		for _, f := range forced {
+			force[f.Gate] = f.Value
+		}
+	}
+	for pos, id := range c.Inputs {
+		s.vals[id] = inputs[pos]
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Kind != logic.Input {
+			fan := s.fan[:len(g.Fanin)]
+			for j, f := range g.Fanin {
+				fan[j] = s.vals[f]
+			}
+			s.vals[i] = g.Eval(fan)
+		}
+		if force != nil {
+			if v, ok := force[i]; ok {
+				s.vals[i] = v
+			}
+		}
+	}
+}
+
+// Value returns the 64-pattern value word of gate id from the last run.
+func (s *Simulator) Value(id int) uint64 { return s.vals[id] }
+
+// Bit returns the value of gate id under pattern (bit position) i.
+func (s *Simulator) Bit(id int, i uint) bool { return s.vals[id]>>i&1 == 1 }
+
+// Values returns the value words of all gates from the last run. The
+// returned slice aliases internal state and is valid until the next run.
+func (s *Simulator) Values() []uint64 { return s.vals }
+
+// PackVector broadcasts a single test vector into input words (all 64
+// lanes equal).
+func PackVector(vec []bool) []uint64 {
+	words := make([]uint64, len(vec))
+	for i, b := range vec {
+		if b {
+			words[i] = ^uint64(0)
+		}
+	}
+	return words
+}
+
+// PackVectors packs up to 64 test vectors into input words; vector j
+// occupies bit lane j.
+func PackVectors(vecs [][]bool, numInputs int) []uint64 {
+	if len(vecs) > 64 {
+		panic("sim: more than 64 vectors in one word batch")
+	}
+	words := make([]uint64, numInputs)
+	for j, vec := range vecs {
+		if len(vec) != numInputs {
+			panic(fmt.Sprintf("sim: vector %d has %d values for %d inputs", j, len(vec), numInputs))
+		}
+		for i, b := range vec {
+			if b {
+				words[i] |= 1 << uint(j)
+			}
+		}
+	}
+	return words
+}
+
+// RunVector evaluates a single test vector (convenience wrapper; all
+// lanes carry the same pattern).
+func (s *Simulator) RunVector(vec []bool) {
+	s.Run(PackVector(vec))
+}
+
+// OutputBit returns the single-pattern value of gate id after RunVector.
+func (s *Simulator) OutputBit(id int) bool { return s.vals[id]&1 == 1 }
+
+// Eval is a one-shot convenience: evaluate vec and return the values of
+// the circuit outputs in Circuit.Outputs order.
+func Eval(c *circuit.Circuit, vec []bool) []bool {
+	s := New(c)
+	s.RunVector(vec)
+	outs := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		outs[i] = s.OutputBit(o)
+	}
+	return outs
+}
+
+// XSimulator is a three-valued (0/1/X) bit-parallel simulator. Injecting
+// X at candidate locations and observing whether the X reaches an output
+// is the forward-implication style of effect analysis cited by the paper
+// (Boppana et al.'s X-lists).
+type XSimulator struct {
+	c    *circuit.Circuit
+	vals []logic.TWord
+	fan  []logic.TWord
+}
+
+// NewX returns a three-valued simulator for c.
+func NewX(c *circuit.Circuit) *XSimulator {
+	maxFanin := 1
+	for i := range c.Gates {
+		if n := len(c.Gates[i].Fanin); n > maxFanin {
+			maxFanin = n
+		}
+	}
+	return &XSimulator{
+		c:    c,
+		vals: make([]logic.TWord, len(c.Gates)),
+		fan:  make([]logic.TWord, maxFanin),
+	}
+}
+
+// XForce injects X at a gate's output in the given lanes; lanes not set
+// keep the computed two-valued result. Injecting different gates in
+// different lanes examines 64 what-if scenarios per pass (the X-list
+// style of candidate screening).
+type XForce struct {
+	Gate  int
+	Lanes uint64
+}
+
+// RunForced evaluates the circuit on two-valued input words with X
+// injected per the forces. Truth-table gates are evaluated
+// pessimistically: any X input makes the output X unless the table is
+// constant.
+func (x *XSimulator) RunForced(inputs []uint64, forces []XForce) {
+	c := x.c
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: %d input words for %d inputs", len(inputs), len(c.Inputs)))
+	}
+	var forceX map[int]uint64
+	if len(forces) > 0 {
+		forceX = make(map[int]uint64, len(forces))
+		for _, f := range forces {
+			forceX[f.Gate] |= f.Lanes
+		}
+	}
+	for pos, id := range c.Inputs {
+		w := inputs[pos]
+		x.vals[id] = logic.TWord{Zero: ^w, One: w}
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Kind != logic.Input {
+			fan := x.fan[:len(g.Fanin)]
+			for j, f := range g.Fanin {
+				fan[j] = x.vals[f]
+			}
+			if g.Kind == logic.TableKind {
+				x.vals[i] = evalTableTernary(g.Table, fan)
+			} else {
+				x.vals[i] = logic.EvalTernaryWord(g.Kind, fan)
+			}
+		}
+		if lanes, ok := forceX[i]; ok {
+			v := x.vals[i]
+			v.Zero &^= lanes
+			v.One &^= lanes
+			x.vals[i] = v
+		}
+	}
+}
+
+// Value returns the ternary word of gate id from the last run.
+func (x *XSimulator) Value(id int) logic.TWord { return x.vals[id] }
+
+func evalTableTernary(t *logic.Table, in []logic.TWord) logic.TWord {
+	// Lanes where every input is known evaluate exactly; others are X
+	// unless the table is constant.
+	known := ^uint64(0)
+	words := make([]uint64, len(in))
+	for i, w := range in {
+		known &= w.Zero | w.One
+		words[i] = w.One
+	}
+	exact := t.EvalWord(words)
+	res := logic.TWord{Zero: known &^ exact, One: known & exact}
+	allOne := true
+	allZero := true
+	for m := 0; m < t.Rows(); m++ {
+		if t.Get(m) {
+			allZero = false
+		} else {
+			allOne = false
+		}
+	}
+	if allOne {
+		res = logic.TWordConst(logic.T1)
+	} else if allZero {
+		res = logic.TWordConst(logic.T0)
+	}
+	return res
+}

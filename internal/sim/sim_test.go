@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+)
+
+func buildFullAdder(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("fa")
+	a := b.Input("a")
+	bi := b.Input("b")
+	cin := b.Input("cin")
+	s1 := b.Gate(logic.Xor, "s1", a, bi)
+	sum := b.Gate(logic.Xor, "sum", s1, cin)
+	c1 := b.Gate(logic.And, "c1", a, bi)
+	c2 := b.Gate(logic.And, "c2", s1, cin)
+	cout := b.Gate(logic.Or, "cout", c1, c2)
+	b.Output(sum)
+	b.Output(cout)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFullAdderTruth(t *testing.T) {
+	c := buildFullAdder(t)
+	sum, _ := c.GateByName("sum")
+	cout, _ := c.GateByName("cout")
+	s := New(c)
+	for m := 0; m < 8; m++ {
+		vec := []bool{m&1 == 1, m&2 == 2, m&4 == 4}
+		s.RunVector(vec)
+		n := 0
+		for _, v := range vec {
+			if v {
+				n++
+			}
+		}
+		if s.OutputBit(sum) != (n%2 == 1) {
+			t.Fatalf("sum(%v) = %v", vec, s.OutputBit(sum))
+		}
+		if s.OutputBit(cout) != (n >= 2) {
+			t.Fatalf("cout(%v) = %v", vec, s.OutputBit(cout))
+		}
+	}
+}
+
+func TestBitParallelAgreesWithScalar(t *testing.T) {
+	// 64 random vectors in one word must equal 64 scalar runs.
+	c, err := gen.Generate(gen.Spec{Name: "r", Inputs: 8, Outputs: 4, Gates: 60, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	words := make([]uint64, len(c.Inputs))
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	par := New(c)
+	par.Run(words)
+	scal := New(c)
+	for lane := uint(0); lane < 64; lane++ {
+		vec := make([]bool, len(c.Inputs))
+		for i := range vec {
+			vec[i] = words[i]>>lane&1 == 1
+		}
+		scal.RunVector(vec)
+		for _, o := range c.Outputs {
+			if scal.OutputBit(o) != par.Bit(o, lane) {
+				t.Fatalf("lane %d gate %d: scalar %v parallel %v", lane, o, scal.OutputBit(o), par.Bit(o, lane))
+			}
+		}
+	}
+}
+
+func TestBitParallelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := gen.Generate(gen.Spec{Name: "q", Inputs: 5, Outputs: 2, Gates: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := make([]uint64, len(c.Inputs))
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		s := New(c)
+		s.Run(words)
+		lane := uint(rng.Intn(64))
+		vec := make([]bool, len(c.Inputs))
+		for i := range vec {
+			vec[i] = words[i]>>lane&1 == 1
+		}
+		s2 := New(c)
+		s2.RunVector(vec)
+		for _, o := range c.Outputs {
+			if s2.OutputBit(o) != s.Bit(o, lane) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunForcedOverrides(t *testing.T) {
+	c := buildFullAdder(t)
+	s1, _ := c.GateByName("s1")
+	sum, _ := c.GateByName("sum")
+	s := New(c)
+	// a=1,b=0,cin=0: s1=1, sum=1. Force s1=0 -> sum=0.
+	inputs := PackVector([]bool{true, false, false})
+	s.RunForced(inputs, []Forced{{Gate: s1, Value: 0}})
+	if s.OutputBit(s1) != false {
+		t.Fatal("force ignored")
+	}
+	if s.OutputBit(sum) != false {
+		t.Fatal("force did not propagate")
+	}
+	// Forcing an input overrides the vector.
+	a, _ := c.GateByName("a")
+	s.RunForced(inputs, []Forced{{Gate: a, Value: 0}})
+	if s.OutputBit(sum) != false {
+		t.Fatal("input force did not propagate")
+	}
+}
+
+func TestPackVectors(t *testing.T) {
+	vecs := [][]bool{{true, false}, {false, true}, {true, true}}
+	words := PackVectors(vecs, 2)
+	if words[0] != 0b101 || words[1] != 0b110 {
+		t.Fatalf("packed %b %b", words[0], words[1])
+	}
+}
+
+func TestEvalConvenience(t *testing.T) {
+	c := buildFullAdder(t)
+	outs := Eval(c, []bool{true, true, true})
+	if !outs[0] || !outs[1] {
+		t.Fatalf("1+1+1 = sum %v cout %v", outs[0], outs[1])
+	}
+}
+
+func TestXSimDefiniteMatchesTwoValued(t *testing.T) {
+	// Without X injection, the 3-valued simulator must agree with the
+	// 2-valued one everywhere.
+	c, err := gen.Generate(gen.Spec{Name: "x", Inputs: 6, Outputs: 3, Gates: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	words := make([]uint64, len(c.Inputs))
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	two := New(c)
+	two.Run(words)
+	three := NewX(c)
+	three.RunForced(words, nil)
+	for g := range c.Gates {
+		w := three.Value(g)
+		for lane := uint(0); lane < 64; lane++ {
+			want := logic.TernaryFromBool(two.Bit(g, lane))
+			if w.Get(lane) != want {
+				t.Fatalf("gate %d lane %d: X-sim %v, 2-valued %v", g, lane, w.Get(lane), want)
+			}
+		}
+	}
+}
+
+func TestXSimInjectionPropagates(t *testing.T) {
+	c := buildFullAdder(t)
+	s1, _ := c.GateByName("s1")
+	sum, _ := c.GateByName("sum")
+	x := NewX(c)
+	inputs := PackVector([]bool{true, false, false})
+	x.RunForced(inputs, []XForce{{Gate: s1, Lanes: ^uint64(0)}})
+	if x.Value(s1).Get(0) != logic.TX {
+		t.Fatal("X not injected")
+	}
+	// sum = s1 XOR cin: X propagates.
+	if x.Value(sum).Get(0) != logic.TX {
+		t.Fatal("X did not reach sum")
+	}
+	// cout = (a AND b) OR (s1 AND cin) = 0 OR (X AND 0) = 0: X masked.
+	cout, _ := c.GateByName("cout")
+	if x.Value(cout).Get(0) != logic.T0 {
+		t.Fatalf("cout = %v, want 0 (X masked by controlling 0)", x.Value(cout).Get(0))
+	}
+}
+
+func TestXSimRefinementProperty(t *testing.T) {
+	// If X-sim reports a definite output value under X injection at a
+	// gate, then 2-valued simulation with that gate forced to 0 and to 1
+	// must both produce that value.
+	f := func(seed int64) bool {
+		c, err := gen.Generate(gen.Spec{Name: "xr", Inputs: 5, Outputs: 2, Gates: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 7))
+		vec := make([]bool, len(c.Inputs))
+		for i := range vec {
+			vec[i] = rng.Intn(2) == 1
+		}
+		internal := c.InternalGates()
+		g := internal[rng.Intn(len(internal))]
+		x := NewX(c)
+		x.RunForced(PackVector(vec), []XForce{{Gate: g, Lanes: ^uint64(0)}})
+		s := New(c)
+		for _, o := range c.Outputs {
+			v := x.Value(o).Get(0)
+			if v == logic.TX {
+				continue
+			}
+			want := v == logic.T1
+			s.RunForced(PackVector(vec), []Forced{{Gate: g, Value: 0}})
+			if s.OutputBit(o) != want {
+				return false
+			}
+			s.RunForced(PackVector(vec), []Forced{{Gate: g, Value: ^uint64(0)}})
+			if s.OutputBit(o) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableGateSimulation(t *testing.T) {
+	// A table gate implementing a 2-input majority-of-inverted function.
+	tab := logic.NewTable(2)
+	tab.Set(0, true) // f(0,0)=1
+	b := circuit.NewBuilder("tg")
+	a := b.Input("a")
+	bi := b.Input("b")
+	g := b.TableGate("g", tab, a, bi)
+	b.Output(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	s.RunVector([]bool{false, false})
+	if !s.OutputBit(g) {
+		t.Fatal("f(0,0) != 1")
+	}
+	s.RunVector([]bool{true, false})
+	if s.OutputBit(g) {
+		t.Fatal("f(1,0) != 0")
+	}
+}

@@ -1,0 +1,213 @@
+// Package tgen generates the diagnosis test-sets (Definition 1/2 of the
+// paper): triples (t, o, v) of an input vector, an output where the
+// faulty implementation disagrees with the specification, and the correct
+// value. Two engines are provided: fast random bit-parallel simulation of
+// the golden/faulty pair, and a SAT-based distinguishing-vector ATPG
+// (miter construction in the tradition of Larrabee's SAT test
+// generation), used when random patterns fail to expose a fault.
+package tgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// PerVector selects how many tests one failing vector contributes.
+type PerVector int
+
+// PerVector policies: FirstOutput emits a single test per failing vector
+// (at its first failing output, in circuit output order); AllOutputs
+// emits one test per failing output, so additional tests can introduce
+// additional outputs into the diagnosis problem (cf. the paper's Table 3
+// discussion).
+const (
+	FirstOutput PerVector = iota
+	AllOutputs
+)
+
+// Options configures random test generation.
+type Options struct {
+	Count       int       // number of tests m to produce (required)
+	Seed        int64     // RNG seed
+	MaxPatterns int       // random-vector budget (default 1 << 16)
+	PerVector   PerVector // tests per failing vector (default FirstOutput)
+}
+
+// ErrUndetected reports that no test could be produced within the
+// budget: the injected fault may be untestable or extremely hard to hit
+// randomly; use ATPG in that case.
+var ErrUndetected = errors.New("tgen: no distinguishing vector found")
+
+// Random produces up to opts.Count tests by simulating random vectors on
+// the golden and faulty circuits in 64-wide batches and collecting
+// (vector, output, correct value) triples where they disagree. The
+// result is deterministic in the seed. It returns ErrUndetected if not a
+// single test was found within the pattern budget; a short (non-empty)
+// test-set is returned without error.
+func Random(golden, faulty *circuit.Circuit, opts Options) (circuit.TestSet, error) {
+	if err := compatible(golden, faulty); err != nil {
+		return nil, err
+	}
+	count := opts.Count
+	if count <= 0 {
+		count = 1
+	}
+	maxPatterns := opts.MaxPatterns
+	if maxPatterns <= 0 {
+		maxPatterns = 1 << 16
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	gSim := sim.New(golden)
+	fSim := sim.New(faulty)
+	nIn := len(golden.Inputs)
+	words := make([]uint64, nIn)
+	var tests circuit.TestSet
+	for done := 0; done < maxPatterns && len(tests) < count; done += 64 {
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		gSim.Run(words)
+		fSim.Run(words)
+		// Lanes where any output differs.
+		var differs uint64
+		for _, o := range golden.Outputs {
+			differs |= gSim.Value(o) ^ fSim.Value(o)
+		}
+		if differs == 0 {
+			continue
+		}
+		for lane := uint(0); lane < 64 && len(tests) < count; lane++ {
+			if differs>>lane&1 == 0 {
+				continue
+			}
+			vec := make([]bool, nIn)
+			for i := range vec {
+				vec[i] = words[i]>>lane&1 == 1
+			}
+			for _, o := range golden.Outputs {
+				if (gSim.Value(o)^fSim.Value(o))>>lane&1 == 0 {
+					continue
+				}
+				tests = append(tests, circuit.Test{
+					Vector: vec,
+					Output: o,
+					Want:   gSim.Bit(o, lane),
+				})
+				if opts.PerVector == FirstOutput || len(tests) >= count {
+					break
+				}
+			}
+		}
+	}
+	if len(tests) == 0 {
+		return nil, ErrUndetected
+	}
+	return tests, nil
+}
+
+// ATPGOptions configures SAT-based distinguishing-vector generation.
+type ATPGOptions struct {
+	Count        int   // number of distinct vectors to derive (default 1)
+	MaxConflicts int64 // per-solve budget (0 = unlimited)
+	PerVector    PerVector
+}
+
+// ATPG derives distinguishing input vectors with a miter: both circuits
+// share input variables and at least one output pair must differ. Each
+// model yields a vector, which is then simulated to emit tests exactly
+// like Random. Distinct vectors are enforced by exact blocking clauses
+// over the inputs. Returns ErrUndetected when the miter is
+// unsatisfiable, i.e. the two circuits are equivalent.
+func ATPG(golden, faulty *circuit.Circuit, opts ATPGOptions) (circuit.TestSet, error) {
+	if err := compatible(golden, faulty); err != nil {
+		return nil, err
+	}
+	count := opts.Count
+	if count <= 0 {
+		count = 1
+	}
+	s := sat.New()
+	s.MaxConflicts = opts.MaxConflicts
+	inputs := make([]sat.Var, len(golden.Inputs))
+	for i := range inputs {
+		inputs[i] = s.NewVar()
+	}
+	gVars := cnf.EncodeCopyWithInputs(s, golden, inputs)
+	fVars := cnf.EncodeCopyWithInputs(s, faulty, inputs)
+	diff := make([]sat.Lit, len(golden.Outputs))
+	for i := range golden.Outputs {
+		d := sat.PosLit(s.NewVar())
+		g := sat.PosLit(gVars[golden.Outputs[i]])
+		f := sat.PosLit(fVars[faulty.Outputs[i]])
+		// d <-> g XOR f
+		s.AddClause(d.Neg(), g, f)
+		s.AddClause(d.Neg(), g.Neg(), f.Neg())
+		s.AddClause(d, g.Neg(), f)
+		s.AddClause(d, g, f.Neg())
+		diff[i] = d
+	}
+	s.AddClause(diff...)
+
+	proj := make([]sat.Lit, len(inputs))
+	for i, v := range inputs {
+		proj[i] = sat.PosLit(v)
+	}
+	gSim := sim.New(golden)
+	fSim := sim.New(faulty)
+	var tests circuit.TestSet
+	n, complete := s.EnumerateProjected(proj, sat.EnumOptions{MaxSolutions: count, ExactBlocking: true}, func([]sat.Lit) bool {
+		vec := make([]bool, len(inputs))
+		for i, v := range inputs {
+			vec[i] = s.Value(v) == sat.LTrue
+		}
+		gSim.RunVector(vec)
+		fSim.RunVector(vec)
+		for _, o := range golden.Outputs {
+			if gSim.OutputBit(o) == fSim.OutputBit(o) {
+				continue
+			}
+			tests = append(tests, circuit.Test{Vector: vec, Output: o, Want: gSim.OutputBit(o)})
+			if opts.PerVector == FirstOutput {
+				break
+			}
+		}
+		return true
+	})
+	if n == 0 {
+		if complete {
+			return nil, ErrUndetected
+		}
+		return nil, fmt.Errorf("tgen: ATPG budget exhausted before a verdict")
+	}
+	return tests, nil
+}
+
+// Verify checks the test-set invariant: every test fails on the faulty
+// circuit (it produces !Want at Output) and Want matches the golden
+// circuit. It returns the index of the first violating test, or -1.
+func Verify(golden, faulty *circuit.Circuit, tests circuit.TestSet) int {
+	gSim := sim.New(golden)
+	fSim := sim.New(faulty)
+	for i, t := range tests {
+		gSim.RunVector(t.Vector)
+		fSim.RunVector(t.Vector)
+		if gSim.OutputBit(t.Output) != t.Want || fSim.OutputBit(t.Output) == t.Want {
+			return i
+		}
+	}
+	return -1
+}
+
+func compatible(golden, faulty *circuit.Circuit) error {
+	if len(golden.Inputs) != len(faulty.Inputs) || len(golden.Outputs) != len(faulty.Outputs) {
+		return fmt.Errorf("tgen: interface mismatch: golden %d/%d vs faulty %d/%d inputs/outputs",
+			len(golden.Inputs), len(golden.Outputs), len(faulty.Inputs), len(faulty.Outputs))
+	}
+	return nil
+}

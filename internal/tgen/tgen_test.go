@@ -1,0 +1,205 @@
+package tgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/logic"
+)
+
+func scenario(t *testing.T, seed int64, p int) (*circuit.Circuit, *circuit.Circuit) {
+	t.Helper()
+	golden, err := gen.Generate(gen.Spec{Name: "tg", Inputs: 7, Outputs: 3, Gates: 50, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resample the injection seed until the fault is actually detectable
+	// (a masked mutation would make the tests vacuous).
+	for attempt := int64(0); attempt < 20; attempt++ {
+		faulty, _, err := faults.Inject(golden, faults.Options{Count: p, Seed: seed + attempt*31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Random(golden, faulty, Options{Count: 1, Seed: seed, MaxPatterns: 1 << 12}); err == nil {
+			return golden, faulty
+		}
+	}
+	t.Fatal("no detectable fault found")
+	return nil, nil
+}
+
+func TestRandomProducesFailingTests(t *testing.T) {
+	golden, faulty := scenario(t, 11, 1)
+	tests, err := Random(golden, faulty, Options{Count: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) == 0 {
+		t.Fatal("no tests")
+	}
+	if bad := Verify(golden, faulty, tests); bad >= 0 {
+		t.Fatalf("test %d violates the invariant", bad)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	golden, faulty := scenario(t, 12, 1)
+	a, err := Random(golden, faulty, Options{Count: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(golden, faulty, Options{Count: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].Output != b[i].Output || a[i].Want != b[i].Want {
+			t.Fatal("nondeterministic tests")
+		}
+		for j := range a[i].Vector {
+			if a[i].Vector[j] != b[i].Vector[j] {
+				t.Fatal("nondeterministic vectors")
+			}
+		}
+	}
+}
+
+func TestRandomAllOutputsPolicy(t *testing.T) {
+	golden, faulty := scenario(t, 13, 2)
+	one, err := Random(golden, faulty, Options{Count: 32, Seed: 2, PerVector: FirstOutput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Random(golden, faulty, Options{Count: 32, Seed: 2, PerVector: AllOutputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < len(one) {
+		t.Fatalf("AllOutputs yielded fewer tests (%d < %d)", len(all), len(one))
+	}
+	if bad := Verify(golden, faulty, all); bad >= 0 {
+		t.Fatalf("test %d invalid", bad)
+	}
+}
+
+func TestRandomUndetectedFault(t *testing.T) {
+	// A fault on a gate whose output is masked everywhere: build
+	// y = AND(a, 0-const via a AND NOT a). Changing the masked gate can
+	// never be observed.
+	b := circuit.NewBuilder("masked")
+	a := b.Input("a")
+	na := b.Gate(logic.Not, "na", a)
+	zero := b.Gate(logic.And, "zero", a, na) // constant 0
+	buried := b.Gate(logic.Buf, "buried", zero)
+	y := b.Gate(logic.And, "y", a, zero)
+	_ = buried
+	b.Output(y)
+	golden, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := golden.Clone()
+	bg, _ := faulty.GateByName("buried")
+	faulty.Gates[bg].Kind = logic.Not // unobservable change (no fanout)
+	if _, err := Random(golden, faulty, Options{Count: 4, Seed: 3, MaxPatterns: 256}); err != ErrUndetected {
+		t.Fatalf("want ErrUndetected, got %v", err)
+	}
+	// ATPG must agree: the circuits are functionally equivalent.
+	if _, err := ATPG(golden, faulty, ATPGOptions{Count: 1}); err != ErrUndetected {
+		t.Fatalf("ATPG: want ErrUndetected, got %v", err)
+	}
+}
+
+func TestATPGFindsDistinguishingVectors(t *testing.T) {
+	golden, faulty := scenario(t, 14, 1)
+	tests, err := ATPG(golden, faulty, ATPGOptions{Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) == 0 {
+		t.Fatal("no tests")
+	}
+	if bad := Verify(golden, faulty, tests); bad >= 0 {
+		t.Fatalf("test %d invalid", bad)
+	}
+	// Distinct vectors.
+	seen := make(map[string]bool)
+	for _, ts := range tests {
+		key := ""
+		for _, v := range ts.Vector {
+			if v {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("ATPG produced %d distinct vectors, want several", len(seen))
+	}
+}
+
+// TestATPGAgreesWithRandomProperty: whenever random simulation finds a
+// distinguishing vector, ATPG must find one too (and vice versa when the
+// miter is UNSAT, random must fail).
+func TestATPGAgreesWithRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		golden, err := gen.Generate(gen.Spec{Name: "agree", Inputs: 5, Outputs: 2, Gates: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, _, err := faults.Inject(golden, faults.Options{Count: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, randErr := Random(golden, faulty, Options{Count: 1, Seed: seed, MaxPatterns: 1 << 12})
+		_, atpgErr := ATPG(golden, faulty, ATPGOptions{Count: 1})
+		if randErr == nil {
+			return atpgErr == nil
+		}
+		// Random exhausted its budget: with 5 inputs (32 vectors) and 4096
+		// patterns, exhaustive coverage is certain, so ATPG must agree.
+		return atpgErr == ErrUndetected
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	golden, _ := scenario(t, 15, 1)
+	other, err := gen.Generate(gen.Spec{Name: "other", Inputs: 3, Outputs: 1, Gates: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Random(golden, other, Options{Count: 1}); err == nil {
+		t.Fatal("interface mismatch not detected")
+	}
+	if _, err := ATPG(golden, other, ATPGOptions{}); err == nil {
+		t.Fatal("interface mismatch not detected by ATPG")
+	}
+}
+
+func TestVerifyCatchesBadTests(t *testing.T) {
+	golden, faulty := scenario(t, 16, 1)
+	tests, err := Random(golden, faulty, Options{Count: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tests[0].Clone()
+	bad.Want = !bad.Want
+	if Verify(golden, faulty, circuit.TestSet{bad}) != 0 {
+		t.Fatal("corrupted test not flagged")
+	}
+}
