@@ -85,6 +85,29 @@ func BenchmarkTable2_BSIM(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2_BSIM_FullResim is the "before" side of the
+// incremental-engine comparison: the original BasicSimDiagnose loop
+// re-simulating the whole circuit once per test. BenchmarkTable2_BSIM
+// above measures the batched, event-driven replacement on the same
+// workload.
+func BenchmarkTable2_BSIM_FullResim(b *testing.B) {
+	for _, w := range table2Workload {
+		if w.big && testing.Short() {
+			continue
+		}
+		for _, m := range w.ms {
+			b.Run(fmt.Sprintf("%s/p%d/m%d", w.circuit, w.p, m), func(b *testing.B) {
+				sc := scenarioFor(b, w.circuit, w.p, w.seed)
+				tests := sc.Tests.Prefix(m)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.BSIMReference(sc.Faulty, tests, core.PTOptions{})
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkTable2_COV_All(b *testing.B) {
 	for _, w := range table2Workload {
 		if w.big && testing.Short() {
@@ -318,6 +341,55 @@ func BenchmarkSubstrate_Simulator64(b *testing.B) {
 		s.Run(words)
 	}
 	b.ReportMetric(float64(64*sc.Faulty.NumGates()), "gate-evals/op")
+}
+
+// BenchmarkSubstrate_IncrementalSim measures one forced-gate what-if
+// query (Force through the fanout cone + O(touched) Undo) against the
+// full-circuit RunForced it replaces, on the Table 2 circuits. The
+// incremental variant must report 0 allocs/op: the event queues and
+// dirty stacks are reused across queries.
+func BenchmarkSubstrate_IncrementalSim(b *testing.B) {
+	for _, w := range table2Workload {
+		if w.big && testing.Short() {
+			continue
+		}
+		sc := scenarioFor(b, w.circuit, w.p, w.seed)
+		c := sc.Faulty
+		words := make([]uint64, len(c.Inputs))
+		for i := range words {
+			words[i] = uint64(i)*0x9E3779B97F4A7C15 + 1
+		}
+		gates := c.InternalGates()
+		b.Run(w.circuit+"/incremental", func(b *testing.B) {
+			inc := sim.NewIncremental(c)
+			inc.SetBaseline(words)
+			// Warm up the event queues over every queried gate so the
+			// timed region runs in steady state.
+			for _, g := range gates {
+				inc.Force(g, ^inc.BaselineValue(g))
+				inc.Undo()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := gates[i%len(gates)]
+				inc.Force(g, ^inc.BaselineValue(g))
+				inc.Undo()
+			}
+		})
+		b.Run(w.circuit+"/full-resim", func(b *testing.B) {
+			s := sim.New(c)
+			s.Run(words)
+			forced := make([]sim.Forced, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := gates[i%len(gates)]
+				forced[0] = sim.Forced{Gate: g, Value: ^s.Value(g)}
+				s.RunForced(words, forced)
+			}
+		})
+	}
 }
 
 func BenchmarkSubstrate_PathTrace(b *testing.B) {

@@ -1,7 +1,138 @@
 package circuit
 
+import "sync"
+
 // Structural analyses backing the diagnosis algorithms: levels, cones,
 // fanout-free regions, dominators and distance-to-gate metrics.
+
+// Analysis caches the structural precomputations shared by the
+// event-driven simulation engine and the diagnosis hot loops:
+// levelization and lazily materialized fanout-cone bitsets. It is built
+// at most once per Circuit (see Circuit.Analysis) and is safe for
+// concurrent use.
+type Analysis struct {
+	// Levels is the longest distance (in gates) from any primary input,
+	// per gate; inputs are level 0. Fanins always sit on strictly lower
+	// levels than the gate they drive, so evaluating level-by-level in
+	// ascending order respects all data dependencies.
+	Levels []int
+	// MaxLevel is the largest entry of Levels (the circuit depth).
+	MaxLevel int
+
+	c  *Circuit
+	mu sync.RWMutex
+	// cones memoizes fanout-cone bitsets per root and inCones fanin-cone
+	// bitsets per root. Cones are demanded only for correction
+	// candidates and observed outputs (small subsets of gates), so the
+	// maps stay far below the dense |gates|^2/64 footprint.
+	cones   map[int]Bitset
+	inCones map[int]Bitset
+}
+
+// Analysis returns the cached structural analysis of c, computing it on
+// first use. The result is shared; callers must treat it as read-only.
+func (c *Circuit) Analysis() *Analysis {
+	c.analysisOnce.Do(func() {
+		a := &Analysis{
+			Levels:  c.Levels(),
+			c:       c,
+			cones:   make(map[int]Bitset),
+			inCones: make(map[int]Bitset),
+		}
+		for _, l := range a.Levels {
+			if l > a.MaxLevel {
+				a.MaxLevel = l
+			}
+		}
+		c.analysis = a
+	})
+	return c.analysis
+}
+
+// FanoutConeBits returns the fanout cone of root (including root) as a
+// bitset, memoized per root. The returned bitset is shared: callers must
+// not modify it.
+func (a *Analysis) FanoutConeBits(root int) Bitset {
+	return a.coneBits(root, a.cones, false)
+}
+
+// FaninConeBits returns the fanin cone of root (including root) as a
+// bitset, memoized per root. The returned bitset is shared: callers must
+// not modify it.
+func (a *Analysis) FaninConeBits(root int) Bitset {
+	return a.coneBits(root, a.inCones, true)
+}
+
+// coneBits computes (or returns memoized) the reachability cone of root
+// over the fanin or fanout edges.
+func (a *Analysis) coneBits(root int, memo map[int]Bitset, fanin bool) Bitset {
+	a.mu.RLock()
+	b, ok := memo[root]
+	a.mu.RUnlock()
+	if ok {
+		return b
+	}
+	b = NewBitset(len(a.c.Gates))
+	b.Set(root)
+	stack := []int{root}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := a.c.Gates[g].Fanout
+		if fanin {
+			edges = a.c.Gates[g].Fanin
+		}
+		for _, f := range edges {
+			if !b.Has(f) {
+				b.Set(f)
+				stack = append(stack, f)
+			}
+		}
+	}
+	a.mu.Lock()
+	if prev, ok := memo[root]; ok {
+		b = prev // another goroutine computed it concurrently
+	} else {
+		memo[root] = b
+	}
+	a.mu.Unlock()
+	return b
+}
+
+// Reaches reports whether gate to lies in the fanout cone of from, i.e.
+// whether a value change at from can structurally influence to. It is
+// answered from the fanin cone of to: the diagnosis sweeps ask about
+// many candidate sources against few observed outputs, so memoizing one
+// cone per output is far cheaper than one per source.
+func (a *Analysis) Reaches(from, to int) bool {
+	return a.FaninConeBits(to).Has(from)
+}
+
+// Bitset is a packed gate-ID set.
+type Bitset []uint64
+
+// NewBitset returns an empty bitset able to hold IDs 0..n-1.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Has reports whether id is in the set.
+func (b Bitset) Has(id int) bool { return b[id>>6]>>(uint(id)&63)&1 == 1 }
+
+// Set adds id to the set.
+func (b Bitset) Set(id int) { b[id>>6] |= 1 << (uint(id) & 63) }
+
+// Clear empties the set.
+func (b Bitset) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Or adds every element of o (same capacity) to the set.
+func (b Bitset) Or(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
 
 // Levels returns, per gate, the longest distance (in gates) from any
 // primary input. Inputs are level 0.

@@ -1,0 +1,69 @@
+package circuit
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAnalysisLevelsAndCache(t *testing.T) {
+	c := buildDiamond(t)
+	an := c.Analysis()
+	if an != c.Analysis() {
+		t.Fatal("Analysis not cached")
+	}
+	want := c.Levels()
+	maxLevel := 0
+	for g, l := range want {
+		if an.Levels[g] != l {
+			t.Fatalf("gate %d: cached level %d, Levels() %d", g, an.Levels[g], l)
+		}
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if an.MaxLevel != maxLevel {
+		t.Fatalf("MaxLevel = %d, want %d", an.MaxLevel, maxLevel)
+	}
+}
+
+func TestAnalysisFanoutConeBits(t *testing.T) {
+	c := buildDiamond(t)
+	an := c.Analysis()
+	for root := range c.Gates {
+		ref := c.FanoutCone(root)
+		bits := an.FanoutConeBits(root)
+		for g, in := range ref {
+			if bits.Has(g) != in {
+				t.Fatalf("root %d gate %d: bitset %v, FanoutCone %v", root, g, bits.Has(g), in)
+			}
+			if an.Reaches(root, g) != in {
+				t.Fatalf("Reaches(%d, %d) != FanoutCone", root, g)
+			}
+		}
+	}
+}
+
+func TestAnalysisConcurrent(t *testing.T) {
+	c := buildDiamond(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			an := c.Analysis()
+			for root := range c.Gates {
+				an.FanoutConeBits(root)
+			}
+		}()
+	}
+	wg.Wait()
+	an := c.Analysis()
+	for root := range c.Gates {
+		ref := c.FanoutCone(root)
+		for g := range c.Gates {
+			if an.Reaches(root, g) != ref[g] {
+				t.Fatalf("concurrent build corrupted cone of %d", root)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -52,6 +53,9 @@ type Circuit struct {
 
 	byName map[string]int
 	inPos  map[int]int // gate ID -> index in Inputs
+
+	analysisOnce sync.Once
+	analysis     *Analysis
 }
 
 // Latch is one state element of a sequential design in the full-scan

@@ -54,7 +54,9 @@ func AdvSimDiagnose(c *circuit.Circuit, tests circuit.TestSet, opts AdvSimOption
 	res.Complete = true
 
 	bsim := BSIM(c, tests, opts.PT)
-	s := sim.New(c)
+	v := NewValidator(c, tests)
+	scratch := newTraceScratch(c)
+	marks := make([]int, len(c.Gates))
 	seen := make(map[string]bool)
 
 	// Candidate pool ordered by decreasing mark count (greedy heuristic),
@@ -69,9 +71,9 @@ func AdvSimDiagnose(c *circuit.Circuit, tests circuit.TestSet, opts AdvSimOption
 			res.Complete = false
 			return false
 		}
-		if len(sel) > 0 && ValidateSim(s, tests, sel) {
+		if len(sel) > 0 && v.Validate(sel) {
 			corr := NewCorrection(sel)
-			if !seen[corr.Key()] && Essential(c, tests, corr.Gates) {
+			if !seen[corr.Key()] && v.Essential(corr.Gates) {
 				seen[corr.Key()] = true
 				res.Solutions = append(res.Solutions, corr)
 			}
@@ -83,7 +85,7 @@ func AdvSimDiagnose(c *circuit.Circuit, tests circuit.TestSet, opts AdvSimOption
 		}
 		next := pool
 		if opts.Retrace && len(sel) > 0 {
-			next = retrace(c, tests, sel, bsim, opts.PT)
+			next = v.retrace(sel, bsim, opts.PT, scratch, marks)
 		}
 		for i, g := range next {
 			if containsGate(sel, g) {
@@ -105,30 +107,35 @@ func AdvSimDiagnose(c *circuit.Circuit, tests circuit.TestSet, opts AdvSimOption
 	return res, nil
 }
 
-// retrace re-runs path tracing with the chosen gates' simulated values
+// retrace re-runs path tracing with the chosen gates' baseline values
 // complemented, approximating the candidate-set recalculation after a
 // tentative correction ("correcting one error may change the sensitized
-// paths in the circuit").
-func retrace(c *circuit.Circuit, tests circuit.TestSet, chosen []int, base *BSIMResult, pt PTOptions) []int {
-	s := sim.New(c)
-	marks := make([]int, len(c.Gates))
-	for i, t := range tests {
-		// Flip the chosen gates' values for this test.
-		s.RunVector(t.Vector)
-		forced := make([]sim.Forced, len(chosen))
-		for j, g := range chosen {
-			forced[j] = sim.Forced{Gate: g, Value: ^s.Value(g)}
+// paths in the circuit"). It rides the validator's resident per-test
+// baselines: flipping the chosen gates is an incremental Force through
+// their fanout cones, undone in O(touched) — no re-simulation. marks is
+// a caller-provided per-gate scratch slice.
+func (v *Validator) retrace(chosen []int, base *BSIMResult, pt PTOptions, scratch *traceScratch, marks []int) []int {
+	for i := range marks {
+		marks[i] = 0
+	}
+	levels := v.an.Levels
+	for i, t := range v.tests {
+		inc := v.incs[i]
+		forced := v.forced[:0]
+		for _, g := range chosen {
+			forced = append(forced, sim.Forced{Gate: g, Value: ^inc.BaselineValue(g)})
 		}
-		s.RunForced(sim.PackVector(t.Vector), forced)
-		if s.OutputBit(t.Output) == t.Want {
+		inc.ForceMany(forced)
+		if inc.OutputBit(t.Output) == t.Want {
+			inc.Undo()
 			continue // test already rectified by the tentative choice
 		}
 		// Trace the still-failing output on the modified value assignment.
-		ci := pathTraceValues(s, t, pt)
+		ci := pathTraceValues(v.c, levels, inc, t, pt, scratch)
+		inc.Undo()
 		for _, g := range ci {
 			marks[g]++
 		}
-		_ = i
 	}
 	var pool []int
 	for g, m := range marks {
@@ -143,47 +150,23 @@ func retrace(c *circuit.Circuit, tests circuit.TestSet, chosen []int, base *BSIM
 	return orderByMarks(pool, marks)
 }
 
-// pathTraceValues runs the Figure 1 marking over the simulator's current
+// bitSource exposes a single-pattern value assignment; both Simulator
+// and IncrementalSimulator satisfy it.
+type bitSource interface {
+	OutputBit(id int) bool
+}
+
+// pathTraceValues runs the Figure 1 marking over the source's current
 // value assignment (which may include forced values), without
-// re-simulating the vector.
-func pathTraceValues(s *sim.Simulator, t circuit.Test, opts PTOptions) []int {
-	c := s.Circuit()
-	marked := make([]bool, len(c.Gates))
-	marked[t.Output] = true
-	var ci []int
-	for g := len(c.Gates) - 1; g >= 0; g-- {
-		if !marked[g] {
-			continue
-		}
-		gate := &c.Gates[g]
-		if c.IsInput(g) {
-			continue
-		}
-		ci = append(ci, g)
-		ctrlVal, hasCtrl := gate.Kind.Controlling()
-		var controlling []int
-		if hasCtrl {
-			for _, f := range gate.Fanin {
-				if s.OutputBit(f) == ctrlVal {
-					controlling = append(controlling, f)
-				}
-			}
-		}
-		switch {
-		case len(controlling) == 0:
-			for _, f := range gate.Fanin {
-				marked[f] = true
-			}
-		case opts.Policy == MarkAll:
-			for _, f := range controlling {
-				marked[f] = true
-			}
-		default:
-			marked[controlling[0]] = true
-		}
+// re-simulating the vector. Buffers come from the caller's reusable
+// traceScratch instead of per-call allocations. The retrace marking has
+// always resolved MarkRandom as "first controlling input" (there is no
+// per-retrace random stream); that behavior is kept.
+func pathTraceValues(c *circuit.Circuit, levels []int, s bitSource, t circuit.Test, opts PTOptions, scratch *traceScratch) []int {
+	if opts.Policy == MarkRandom {
+		opts.Policy = MarkFirst
 	}
-	sort.Ints(ci)
-	return ci
+	return scratch.trace(c, levels, s.OutputBit, t, opts)
 }
 
 func orderByMarks(gates []int, marks []int) []int {

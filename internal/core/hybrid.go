@@ -79,14 +79,20 @@ type RepairResult struct {
 func CovGuidedRepair(c *circuit.Circuit, tests circuit.TestSet, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
 	start := time.Now()
 	out := &RepairResult{}
-	for _, sol := range covRes.Solutions {
-		if Validate(c, tests, sol.Gates) {
-			out.Correction = sol
-			out.CovSolution = sol
-			out.Found = true
-			out.Validated++
-			out.Elapsed = time.Since(start)
-			return out, nil
+	if len(covRes.Solutions) > 0 {
+		// One validator serves every candidate solution: the per-test
+		// baselines are built once and each effect analysis touches only
+		// the candidate gates' fanout cones.
+		v := NewValidator(c, tests)
+		for _, sol := range covRes.Solutions {
+			if v.Validate(sol.Gates) {
+				out.Correction = sol
+				out.CovSolution = sol
+				out.Found = true
+				out.Validated++
+				out.Elapsed = time.Since(start)
+				return out, nil
+			}
 		}
 	}
 	if len(covRes.Solutions) == 0 {

@@ -1,0 +1,140 @@
+package core
+
+// Determinism and equivalence of the batched, event-driven, parallel
+// candidate sweeps against their full-resimulation reference oracles.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// bsimEqual asserts two BSIM results carry byte-identical rankings.
+func bsimEqual(t *testing.T, label string, want, got *BSIMResult) {
+	t.Helper()
+	if len(want.Sets) != len(got.Sets) {
+		t.Fatalf("%s: %d sets vs %d", label, len(got.Sets), len(want.Sets))
+	}
+	for i := range want.Sets {
+		if !reflect.DeepEqual(want.Sets[i], got.Sets[i]) {
+			t.Fatalf("%s: set %d differs:\n got %v\nwant %v", label, i, got.Sets[i], want.Sets[i])
+		}
+	}
+	if !reflect.DeepEqual(want.MarkCount, got.MarkCount) {
+		t.Fatalf("%s: mark counts differ", label)
+	}
+}
+
+// TestBSIMMatchesReference checks that the batched event-driven BSIM —
+// serial and parallel — returns byte-identical candidate sets and mark
+// counts to the one-simulation-per-test reference, for every marking
+// policy.
+func TestBSIMMatchesReference(t *testing.T) {
+	policies := []PTPolicy{MarkFirst, MarkRandom, MarkAll}
+	checked := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		sc := makeScenario(t, seed*37, 1+int(seed%3), 6)
+		if sc == nil {
+			continue
+		}
+		checked++
+		for _, policy := range policies {
+			opts := PTOptions{Policy: policy, Seed: seed}
+			ref := BSIMReference(sc.faulty, sc.tests, opts)
+			serial := BSIMWorkers(sc.faulty, sc.tests, opts, 1)
+			parallel := BSIMWorkers(sc.faulty, sc.tests, opts, 0)
+			wide := BSIMWorkers(sc.faulty, sc.tests, opts, 7)
+			bsimEqual(t, policy.String()+"/serial-vs-reference", ref, serial)
+			bsimEqual(t, policy.String()+"/parallel-vs-serial", serial, parallel)
+			bsimEqual(t, policy.String()+"/7workers-vs-serial", serial, wide)
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("only %d scenarios exercised", checked)
+	}
+}
+
+// TestBSIMManyTestsBatching drives the multi-batch path (more than 64
+// tests) by repeating the test list, and checks it against the
+// reference.
+func TestBSIMManyTestsBatching(t *testing.T) {
+	sc := makeScenario(t, 23, 2, 8)
+	if sc == nil {
+		t.Skip("undetectable scenario")
+	}
+	tests := sc.tests
+	for len(tests) <= 64 {
+		tests = append(tests, sc.tests...)
+	}
+	for _, policy := range []PTPolicy{MarkFirst, MarkRandom, MarkAll} {
+		opts := PTOptions{Policy: policy, Seed: 3}
+		ref := BSIMReference(sc.faulty, tests, opts)
+		got := BSIMWorkers(sc.faulty, tests, opts, 0)
+		bsimEqual(t, policy.String(), ref, got)
+	}
+}
+
+// TestValidatorMatchesValidateSim compares the incremental, resident-
+// baseline Validator against the full-resimulation ValidateSim on
+// random gate subsets, including Essential.
+func TestValidatorMatchesValidateSim(t *testing.T) {
+	queries := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		sc := makeScenario(t, seed*71, 1+int(seed%2), 5)
+		if sc == nil {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed))
+		v := NewValidator(sc.faulty, sc.tests)
+		s := sim.New(sc.faulty)
+		internal := sc.faulty.InternalGates()
+		for q := 0; q < 40; q++ {
+			n := 1 + rng.Intn(3)
+			gates := make([]int, 0, n)
+			for len(gates) < n {
+				g := internal[rng.Intn(len(internal))]
+				if !containsGate(gates, g) {
+					gates = append(gates, g)
+				}
+			}
+			want := ValidateSim(s, sc.tests, gates)
+			if got := v.Validate(gates); got != want {
+				t.Fatalf("seed %d: Validate(%v) = %v, reference %v", seed, gates, got, want)
+			}
+			if want {
+				eWant := Essential(sc.faulty, sc.tests, gates)
+				if eGot := v.Essential(gates); eGot != eWant {
+					t.Fatalf("seed %d: Essential(%v) = %v, reference %v", seed, gates, eGot, eWant)
+				}
+			}
+			queries++
+		}
+		// The injected sites themselves must validate both ways.
+		if len(sc.sites) <= maxValidateGates {
+			if v.Validate(sc.sites) != ValidateSim(s, sc.tests, sc.sites) {
+				t.Fatalf("seed %d: sites disagree", seed)
+			}
+		}
+	}
+	if queries < 200 {
+		t.Fatalf("only %d validator queries exercised", queries)
+	}
+}
+
+// TestValidatorEmptyCorrection pins the n == 0 semantics: valid iff the
+// circuit already passes every test.
+func TestValidatorEmptyCorrection(t *testing.T) {
+	sc := makeScenario(t, 5, 1, 4)
+	if sc == nil {
+		t.Skip("undetectable scenario")
+	}
+	v := NewValidator(sc.faulty, sc.tests)
+	if v.Validate(nil) {
+		t.Fatal("empty correction validated on a failing test-set")
+	}
+	if v.Validate(nil) != ValidateSim(sim.New(sc.faulty), sc.tests, nil) {
+		t.Fatal("empty-correction semantics diverge from ValidateSim")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// poolSize returns the number of workers parallelFor will use for n
+// independent items and the given bound (<= 0 selects runtime.NumCPU).
+// Callers size per-worker scratch (simulators, trace buffers) with it.
+func poolSize(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelFor runs fn(worker, i) for every i in [0, n) on a bounded
+// worker pool of poolSize(n, workers) goroutines. Items are handed out
+// by an atomic counter; fn must deposit its result into an
+// index-addressed slot, which keeps the assembled output deterministic
+// (byte-identical to a serial run) regardless of scheduling. worker
+// identifies the executing goroutine (0..poolSize-1) so fn can reuse
+// per-worker scratch without locking.
+func parallelFor(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := poolSize(n, workers)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for id := 0; id < w; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(id, i)
+			}
+		}(id)
+	}
+	wg.Wait()
+}

@@ -22,8 +22,140 @@ const maxValidateGates = 20
 // All 2^|gates| forced assignments of one test are packed into 64-wide
 // simulation words, so corrections up to size 6 need a single
 // simulation pass per test.
+//
+// Validate is the one-shot entry point (it re-simulates from scratch);
+// hot loops issuing many queries against the same test-set should use a
+// Validator, which answers each query from resident baselines in
+// O(affected cone) instead of O(circuit).
 func Validate(c *circuit.Circuit, tests circuit.TestSet, gates []int) bool {
 	return ValidateSim(sim.New(c), tests, gates)
+}
+
+// Validator answers repeated Validate queries against a fixed
+// (circuit, test-set) pair using the event-driven incremental engine:
+// each test's unmodified 64-pattern evaluation stays resident in its
+// own IncrementalSimulator, so one query costs only the propagation
+// through the forced gates' fanout cones plus an O(touched) undo —
+// never a whole-circuit re-simulation. A structural screen rejects
+// assignments whose gates cannot reach the failing output at all.
+//
+// A Validator is not safe for concurrent use; create one per goroutine.
+type Validator struct {
+	c      *circuit.Circuit
+	an     *circuit.Analysis
+	tests  circuit.TestSet
+	incs   []*sim.IncrementalSimulator // per test, baseline resident
+	baseOK []bool                      // per test, baseline output already correct
+	forced []sim.Forced                // reused force buffer
+	redux  []int                       // reused reduced-gate buffer (Essential)
+}
+
+// NewValidator builds the per-test baselines (one full simulation per
+// test, paid once).
+func NewValidator(c *circuit.Circuit, tests circuit.TestSet) *Validator {
+	v := &Validator{
+		c:      c,
+		an:     c.Analysis(),
+		tests:  tests,
+		incs:   make([]*sim.IncrementalSimulator, len(tests)),
+		baseOK: make([]bool, len(tests)),
+		forced: make([]sim.Forced, maxValidateGates),
+	}
+	for i, t := range tests {
+		inc := sim.NewIncremental(c)
+		inc.SetBaseline(sim.PackVector(t.Vector))
+		v.incs[i] = inc
+		v.baseOK[i] = inc.OutputBit(t.Output) == t.Want
+	}
+	return v
+}
+
+// Tests returns the validator's test-set.
+func (v *Validator) Tests() circuit.TestSet { return v.tests }
+
+// Validate reports whether gates is a valid correction for the
+// validator's test-set — exactly ValidateSim's answer, computed
+// incrementally.
+func (v *Validator) Validate(gates []int) bool {
+	n := len(gates)
+	if n > maxValidateGates {
+		panic("core: Validate over more than 20 gates")
+	}
+	if n == 0 {
+		for _, ok := range v.baseOK {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	total := 1 << uint(n)
+	forced := v.forced[:n]
+	for i, t := range v.tests {
+		// Structural screen: a gate set with no path to the failing
+		// output leaves it at its baseline value under every assignment.
+		reach := false
+		for _, g := range gates {
+			if v.an.Reaches(g, t.Output) {
+				reach = true
+				break
+			}
+		}
+		if !reach {
+			if !v.baseOK[i] {
+				return false
+			}
+			continue
+		}
+		inc := v.incs[i]
+		rectified := false
+		for base := 0; base < total && !rectified; base += 64 {
+			lanes := total - base
+			if lanes > 64 {
+				lanes = 64
+			}
+			for j, g := range gates {
+				forced[j] = sim.Forced{Gate: g, Value: assignmentWord(base, j)}
+			}
+			inc.ForceMany(forced)
+			out := inc.Value(t.Output)
+			inc.Undo()
+			if !t.Want {
+				out = ^out
+			}
+			if lanes < 64 {
+				out &= (1 << uint(lanes)) - 1
+			}
+			if out != 0 {
+				rectified = true
+			}
+		}
+		if !rectified {
+			return false
+		}
+	}
+	return true
+}
+
+// Essential reports whether gates is valid and contains only essential
+// candidates (Definition 4), like the package-level Essential but over
+// the validator's resident baselines.
+func (v *Validator) Essential(gates []int) bool {
+	if !v.Validate(gates) {
+		return false
+	}
+	if len(gates) == 1 {
+		return true
+	}
+	for i := range gates {
+		v.redux = v.redux[:0]
+		v.redux = append(v.redux, gates[:i]...)
+		v.redux = append(v.redux, gates[i+1:]...)
+		if v.Validate(v.redux) {
+			return false
+		}
+	}
+	return true
 }
 
 // ValidateSim is Validate with a caller-supplied simulator (avoids

@@ -16,8 +16,11 @@ import (
 // per-gate forward effect screen instead of PT's backward trace.
 //
 // 64 gates are screened per simulation pass (one X per lane), so a test
-// costs ceil(|I|/64) passes. The result uses the BSIMResult shape so the
-// covering stage (Figure 4) can run on either engine's candidate sets.
+// costs ceil(|I|/64) passes. The independent per-test screens are
+// sharded across a bounded worker pool (one XSimulator per goroutine);
+// candidate sets land in per-test slots, so the result is deterministic.
+// The result uses the BSIMResult shape so the covering stage (Figure 4)
+// can run on either engine's candidate sets.
 //
 // Relation to path tracing: X-candidacy is a sound over-approximation of
 // single-gate fixability — every gate whose value change can rectify a
@@ -28,37 +31,19 @@ import (
 // branches.
 func XDiagnose(c *circuit.Circuit, tests circuit.TestSet) *BSIMResult {
 	start := time.Now()
-	xs := sim.NewX(c)
 	internal := c.InternalGates()
 	res := &BSIMResult{
 		Sets:      make([][]int, len(tests)),
 		MarkCount: make([]int, len(c.Gates)),
 	}
-	forces := make([]sim.XForce, 0, 64)
-	for i, t := range tests {
-		inputs := sim.PackVector(t.Vector)
-		var ci []int
-		for base := 0; base < len(internal); base += 64 {
-			hi := base + 64
-			if hi > len(internal) {
-				hi = len(internal)
-			}
-			chunk := internal[base:hi]
-			forces = forces[:0]
-			for lane, g := range chunk {
-				forces = append(forces, sim.XForce{Gate: g, Lanes: 1 << uint(lane)})
-			}
-			xs.RunForced(inputs, forces)
-			w := xs.Value(t.Output)
-			xmask := ^(w.Zero | w.One)
-			for lane := range chunk {
-				if xmask>>uint(lane)&1 == 1 {
-					ci = append(ci, chunk[lane])
-				}
-			}
-		}
-		sort.Ints(ci)
-		res.Sets[i] = ci
+	sims := make([]*sim.XSimulator, poolSize(len(tests), 0))
+	for w := range sims {
+		sims[w] = sim.NewX(c)
+	}
+	parallelFor(len(tests), 0, func(w, i int) {
+		res.Sets[i] = xScreen(sims[w], internal, tests[i])
+	})
+	for _, ci := range res.Sets {
 		for _, g := range ci {
 			res.MarkCount[g]++
 		}
@@ -67,22 +52,63 @@ func XDiagnose(c *circuit.Circuit, tests circuit.TestSet) *BSIMResult {
 	return res
 }
 
+// xScreen runs the X-injection screen of one test: every internal gate,
+// 64 per three-valued pass.
+func xScreen(xs *sim.XSimulator, internal []int, t circuit.Test) []int {
+	inputs := sim.PackVector(t.Vector)
+	var ci []int
+	forces := make([]sim.XForce, 0, 64)
+	for base := 0; base < len(internal); base += 64 {
+		hi := base + 64
+		if hi > len(internal) {
+			hi = len(internal)
+		}
+		chunk := internal[base:hi]
+		forces = forces[:0]
+		for lane, g := range chunk {
+			forces = append(forces, sim.XForce{Gate: g, Lanes: 1 << uint(lane)})
+		}
+		xs.RunForced(inputs, forces)
+		w := xs.Value(t.Output)
+		xmask := ^(w.Zero | w.One)
+		for lane := range chunk {
+			if xmask>>uint(lane)&1 == 1 {
+				ci = append(ci, chunk[lane])
+			}
+		}
+	}
+	sort.Ints(ci)
+	return ci
+}
+
 // PerTestFixable reports, for one test, the internal gates whose output
 // value flip-or-force rectifies that single test (singleton effect
 // analysis). Used to cross-check XDiagnose and as the exact —
-// 2x-more-expensive — screen.
+// 2x-more-expensive — screen. Each candidate is answered by event-driven
+// propagation through its fanout cone against the test's resident
+// baseline, with a structural screen skipping gates that cannot reach
+// the output at all.
 func PerTestFixable(c *circuit.Circuit, t circuit.Test) []int {
-	s := sim.New(c)
-	internal := c.InternalGates()
-	inputs := sim.PackVector(t.Vector)
+	an := c.Analysis()
+	inc := sim.NewIncremental(c)
+	inc.SetBaseline(sim.PackVector(t.Vector))
+	baseOK := inc.OutputBit(t.Output) == t.Want
 	var out []int
-	forces := make([]sim.Forced, 0, 1)
-	for _, g := range internal {
+	for _, g := range c.InternalGates() {
+		if !an.Reaches(g, t.Output) {
+			// Forcing g cannot move the output: fixable iff it already
+			// carries the wanted value (then any force "fixes" the test).
+			if baseOK {
+				out = append(out, g)
+			}
+			continue
+		}
 		fixable := false
 		for _, val := range []uint64{0, ^uint64(0)} {
-			forces = append(forces[:0], sim.Forced{Gate: g, Value: val})
-			s.RunForced(inputs, forces)
-			if s.OutputBit(t.Output) == t.Want {
+			inc.Force(g, val)
+			ok := inc.OutputBit(t.Output) == t.Want
+			inc.Undo()
+			if ok {
 				fixable = true
 				break
 			}

@@ -16,10 +16,16 @@ package cover
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
+
+// appendInt appends the decimal form of v to dst without allocating.
+func appendInt(dst []byte, v int) []byte {
+	return strconv.AppendInt(dst, int64(v), 10)
+}
 
 // Problem is a set-covering instance over integer elements (gate IDs).
 type Problem struct {
@@ -187,6 +193,13 @@ func indexOfLit(lits []sat.Lit, l sat.Lit) int {
 // the first uncovered set, branch on each of its elements, prune by
 // size. Used to cross-check the SAT enumerator and as the classic
 // simulation-based-community implementation.
+//
+// Coverage state is maintained incrementally: an element-to-sets index
+// is built once and per-set hit counts are adjusted as the search pushes
+// and pops elements, so a search node costs O(|sets|) instead of
+// re-scanning the selection against every set, and the leaf-level
+// irredundancy check (every chosen element uniquely hits some set) needs
+// no per-candidate slices or maps.
 func EnumerateBB(p *Problem, opts Options) (*Result, error) {
 	if opts.MaxK < 1 {
 		return nil, fmt.Errorf("cover: MaxK must be >= 1")
@@ -197,8 +210,17 @@ func EnumerateBB(p *Problem, opts Options) (*Result, error) {
 		}
 	}
 	res := &Result{Complete: true}
+	setsOf := make(map[int][]int) // element -> indices of sets containing it
+	for i, set := range p.Sets {
+		for _, e := range set {
+			setsOf[e] = append(setsOf[e], i)
+		}
+	}
+	hits := make([]int, len(p.Sets)) // per set, how many selected elements hit it
 	seen := make(map[string]bool)
-	var sel []int
+	sel := make([]int, 0, opts.MaxK)
+	cov := make([]int, 0, opts.MaxK) // reused sorted-copy buffer
+	var key []byte                   // reused dedup-key buffer
 	var rec func() bool
 	rec = func() bool {
 		if opts.MaxSolutions > 0 && len(res.Covers) >= opts.MaxSolutions {
@@ -207,32 +229,43 @@ func EnumerateBB(p *Problem, opts Options) (*Result, error) {
 		}
 		// Find first uncovered set.
 		uncovered := -1
-		for i, set := range p.Sets {
-			hit := false
-			for _, e := range set {
-				for _, s := range sel {
-					if s == e {
-						hit = true
-						break
-					}
-				}
-				if hit {
-					break
-				}
-			}
-			if !hit {
+		for i := range hits {
+			if hits[i] == 0 {
 				uncovered = i
 				break
 			}
 		}
 		if uncovered == -1 {
-			cov := append([]int(nil), sel...)
+			cov = append(cov[:0], sel...)
 			sort.Ints(cov)
-			if p.Irredundant(cov) {
-				key := fmt.Sprint(cov)
-				if !seen[key] {
-					seen[key] = true
-					res.Covers = append(res.Covers, cov)
+			// Irredundant iff dropping any element would uncover a set,
+			// i.e. every element is the unique hitter of some set. The
+			// branching rule only ever picks elements of uncovered sets,
+			// so sel never holds duplicates and the hit counts decide
+			// this exactly (conditions (a) and (b)).
+			irredundant := true
+			for _, e := range cov {
+				unique := false
+				for _, si := range setsOf[e] {
+					if hits[si] == 1 {
+						unique = true
+						break
+					}
+				}
+				if !unique {
+					irredundant = false
+					break
+				}
+			}
+			if irredundant {
+				key = key[:0]
+				for _, e := range cov {
+					key = appendInt(key, e)
+					key = append(key, ',')
+				}
+				if !seen[string(key)] {
+					seen[string(key)] = true
+					res.Covers = append(res.Covers, append([]int(nil), cov...))
 				}
 			}
 			return true
@@ -242,7 +275,13 @@ func EnumerateBB(p *Problem, opts Options) (*Result, error) {
 		}
 		for _, e := range p.Sets[uncovered] {
 			sel = append(sel, e)
+			for _, si := range setsOf[e] {
+				hits[si]++
+			}
 			ok := rec()
+			for _, si := range setsOf[e] {
+				hits[si]--
+			}
 			sel = sel[:len(sel)-1]
 			if !ok {
 				return false

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// IncrementalSimulator answers forced-gate "what-if" queries against a
+// resident 64-pattern baseline by event-driven propagation: a Force
+// touches only the forced gate's fanout cone, processed level-by-level
+// with early termination wherever a recomputed word is unchanged, and
+// Undo restores the touched gates from the baseline in O(touched).
+//
+// This replaces whole-circuit RunForced re-simulation in the diagnosis
+// hot loops (effect analysis, candidate sweeps), cutting a what-if query
+// from O(|gates|) to O(|affected cone|). Simulator.RunForced remains the
+// reference oracle; the two are equivalence-tested against each other.
+//
+// After the first few queries warm up the internal event queues, Force
+// and Undo perform no allocations. An IncrementalSimulator is not safe
+// for concurrent use; create one per goroutine.
+type IncrementalSimulator struct {
+	c      *circuit.Circuit
+	levels []int
+	base   []uint64 // baseline value per gate (last SetBaseline)
+	vals   []uint64 // current value per gate
+	fan    []uint64 // scratch fanin buffer
+
+	// Event machinery, all reused across queries.
+	buckets  [][]int32 // pending gate IDs per level
+	queued   []bool    // gate is sitting in a bucket
+	pendMin  int       // lowest level with pending events
+	forced   []bool    // gate output is currently forced
+	touched  []bool    // vals[g] has (or had) diverged from base[g]
+	touchedL []int32   // gates to restore on Undo
+	forcedL  []int32   // gates to unforce on Undo
+}
+
+// NewIncremental returns an incremental simulator for c with an all-zero
+// input baseline. Call SetBaseline before issuing queries.
+func NewIncremental(c *circuit.Circuit) *IncrementalSimulator {
+	an := c.Analysis()
+	maxFanin := 1
+	for i := range c.Gates {
+		if n := len(c.Gates[i].Fanin); n > maxFanin {
+			maxFanin = n
+		}
+	}
+	n := len(c.Gates)
+	return &IncrementalSimulator{
+		c:       c,
+		levels:  an.Levels,
+		base:    make([]uint64, n),
+		vals:    make([]uint64, n),
+		fan:     make([]uint64, maxFanin),
+		buckets: make([][]int32, an.MaxLevel+1),
+		queued:  make([]bool, n),
+		pendMin: an.MaxLevel + 1,
+		forced:  make([]bool, n),
+		touched: make([]bool, n),
+	}
+}
+
+// Circuit returns the simulated circuit.
+func (s *IncrementalSimulator) Circuit() *circuit.Circuit { return s.c }
+
+// SetBaseline fully evaluates the circuit on the input words (one per
+// Circuit.Inputs position, as in Simulator.Run) and makes the result the
+// resident baseline that Force queries perturb and Undo restores. Any
+// outstanding forces are discarded.
+func (s *IncrementalSimulator) SetBaseline(inputs []uint64) {
+	c := s.c
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: %d input words for %d inputs", len(inputs), len(c.Inputs)))
+	}
+	s.Undo()
+	for pos, id := range c.Inputs {
+		s.vals[id] = inputs[pos]
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Kind != logic.Input {
+			fan := s.fan[:len(g.Fanin)]
+			for j, f := range g.Fanin {
+				fan[j] = s.vals[f]
+			}
+			s.vals[i] = g.Eval(fan)
+		}
+	}
+	copy(s.base, s.vals)
+}
+
+// Force overrides the output of one gate with the given word and
+// propagates the change through its fanout cone. Forcing an input gate
+// overrides the corresponding input word, mirroring RunForced. Forces
+// accumulate until Undo; re-forcing a gate replaces its word.
+func (s *IncrementalSimulator) Force(gate int, word uint64) {
+	s.applyForce(gate, word)
+	s.propagate()
+}
+
+// ForceMany applies several simultaneous forces (the multi-gate effect
+// analysis of Validate) and propagates once. The slice is not retained.
+func (s *IncrementalSimulator) ForceMany(forces []Forced) {
+	for _, f := range forces {
+		s.applyForce(f.Gate, f.Value)
+	}
+	s.propagate()
+}
+
+func (s *IncrementalSimulator) applyForce(gate int, word uint64) {
+	if !s.forced[gate] {
+		s.forced[gate] = true
+		s.forcedL = append(s.forcedL, int32(gate))
+	}
+	s.setValue(gate, word)
+}
+
+// setValue updates a gate's current word, recording it for Undo and
+// scheduling its fanouts when the word actually changed.
+func (s *IncrementalSimulator) setValue(gate int, word uint64) {
+	if s.vals[gate] == word {
+		return // early termination: no downstream effect
+	}
+	if !s.touched[gate] {
+		s.touched[gate] = true
+		s.touchedL = append(s.touchedL, int32(gate))
+	}
+	s.vals[gate] = word
+	for _, f := range s.c.Gates[gate].Fanout {
+		if !s.queued[f] {
+			s.queued[f] = true
+			l := s.levels[f]
+			s.buckets[l] = append(s.buckets[l], int32(f))
+			if l < s.pendMin {
+				s.pendMin = l
+			}
+		}
+	}
+}
+
+// propagate drains the level buckets in ascending order. A gate's
+// fanouts sit on strictly higher levels, so a bucket never grows while
+// it is being drained and every gate is recomputed after all its fanins.
+func (s *IncrementalSimulator) propagate() {
+	c := s.c
+	for l := s.pendMin; l < len(s.buckets); l++ {
+		b := s.buckets[l]
+		for i := 0; i < len(b); i++ {
+			id := int(b[i])
+			s.queued[id] = false
+			if s.forced[id] {
+				continue // forced output shadows the recomputed value
+			}
+			g := &c.Gates[id]
+			fan := s.fan[:len(g.Fanin)]
+			for j, f := range g.Fanin {
+				fan[j] = s.vals[f]
+			}
+			s.setValue(id, g.Eval(fan))
+		}
+		s.buckets[l] = b[:0]
+	}
+	s.pendMin = len(s.buckets)
+}
+
+// Undo removes all outstanding forces and restores every touched gate
+// from the baseline, in O(touched gates).
+func (s *IncrementalSimulator) Undo() {
+	for _, g := range s.touchedL {
+		s.vals[g] = s.base[g]
+		s.touched[g] = false
+	}
+	for _, g := range s.forcedL {
+		s.forced[g] = false
+	}
+	s.touchedL = s.touchedL[:0]
+	s.forcedL = s.forcedL[:0]
+}
+
+// Touched returns the number of gates whose words currently differ (or
+// have differed) from the baseline — the cost of the pending Undo.
+func (s *IncrementalSimulator) Touched() int { return len(s.touchedL) }
+
+// Value returns the current 64-pattern word of gate id.
+func (s *IncrementalSimulator) Value(id int) uint64 { return s.vals[id] }
+
+// BaselineValue returns the baseline word of gate id.
+func (s *IncrementalSimulator) BaselineValue(id int) uint64 { return s.base[id] }
+
+// Bit returns the current value of gate id under pattern (bit lane) i.
+func (s *IncrementalSimulator) Bit(id int, i uint) bool { return s.vals[id]>>i&1 == 1 }
+
+// OutputBit returns the single-pattern value of gate id (lane 0),
+// matching Simulator.OutputBit for broadcast baselines.
+func (s *IncrementalSimulator) OutputBit(id int) bool { return s.vals[id]&1 == 1 }
+
+// Values returns the current value words of all gates. The returned
+// slice aliases internal state and is invalidated by the next query.
+func (s *IncrementalSimulator) Values() []uint64 { return s.vals }

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+)
+
+// randCircuit draws a reproducible random circuit from the synthetic
+// generator.
+func randCircuit(t *testing.T, seed int64, inputs, outputs, gates int) *circuit.Circuit {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name:   "inc-prop",
+		Inputs: inputs, Outputs: outputs, Gates: gates,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	return w
+}
+
+// TestIncrementalEquivalenceRandom is the randomized oracle check of the
+// event-driven engine: on random circuits x random 64-pattern inputs,
+// forced-gate queries through IncrementalSimulator must match the full
+// RunForced re-simulation exactly, on every gate word, and Undo must
+// restore the exact baseline. Well over 1000 single- and multi-gate
+// queries are exercised.
+func TestIncrementalEquivalenceRandom(t *testing.T) {
+	queries := 0
+	for _, size := range []struct{ in, out, gates int }{
+		{4, 2, 24},
+		{6, 3, 60},
+		{10, 5, 220},
+	} {
+		for seed := int64(1); seed <= 6; seed++ {
+			c := randCircuit(t, seed*101+int64(size.gates), size.in, size.out, size.gates)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			full := New(c)
+			inc := NewIncremental(c)
+			for round := 0; round < 5; round++ {
+				inputs := randWords(rng, len(c.Inputs))
+				inc.SetBaseline(inputs)
+				full.Run(inputs)
+				baseline := append([]uint64(nil), full.Values()...)
+				for i, w := range baseline {
+					if got := inc.Value(i); got != w {
+						t.Fatalf("size %v seed %d: baseline gate %d: inc %x full %x", size, seed, i, got, w)
+					}
+				}
+				for q := 0; q < 16; q++ {
+					// 1..3 simultaneously forced gates, occasionally inputs.
+					n := 1 + rng.Intn(3)
+					forces := make([]Forced, n)
+					for j := range forces {
+						forces[j] = Forced{Gate: rng.Intn(len(c.Gates)), Value: rng.Uint64()}
+					}
+					inc.ForceMany(forces)
+					full.RunForced(inputs, forces)
+					queries++
+					for i := range c.Gates {
+						if inc.Value(i) != full.Value(i) {
+							t.Fatalf("size %v seed %d query %d: gate %d (%v): inc %x full %x (forces %v)",
+								size, seed, q, i, c.Gates[i].Kind, inc.Value(i), full.Value(i), forces)
+						}
+					}
+					inc.Undo()
+					for i, w := range baseline {
+						if inc.Value(i) != w {
+							t.Fatalf("size %v seed %d query %d: Undo left gate %d at %x, baseline %x",
+								size, seed, q, i, inc.Value(i), w)
+						}
+					}
+					if inc.Touched() != 0 {
+						t.Fatalf("Undo left %d touched gates", inc.Touched())
+					}
+				}
+			}
+		}
+	}
+	if queries < 1000 {
+		t.Fatalf("only %d equivalence queries exercised, want >= 1000", queries)
+	}
+}
+
+// TestIncrementalStackedForces checks that forces accumulate across
+// Force calls (the incremental discipline of the diagnosis search) and
+// that one Undo removes them all.
+func TestIncrementalStackedForces(t *testing.T) {
+	c := randCircuit(t, 42, 6, 3, 80)
+	rng := rand.New(rand.NewSource(99))
+	inputs := randWords(rng, len(c.Inputs))
+	inc := NewIncremental(c)
+	inc.SetBaseline(inputs)
+	full := New(c)
+
+	var acc []Forced
+	for step := 0; step < 8; step++ {
+		g := rng.Intn(len(c.Gates))
+		w := rng.Uint64()
+		acc = append(acc, Forced{Gate: g, Value: w})
+		inc.Force(g, w)
+		full.RunForced(inputs, acc)
+		for i := range c.Gates {
+			if inc.Value(i) != full.Value(i) {
+				t.Fatalf("step %d: gate %d: inc %x full %x", step, i, inc.Value(i), full.Value(i))
+			}
+		}
+	}
+	inc.Undo()
+	full.Run(inputs)
+	for i := range c.Gates {
+		if inc.Value(i) != full.Value(i) {
+			t.Fatalf("after Undo: gate %d: inc %x full %x", i, inc.Value(i), full.Value(i))
+		}
+	}
+}
+
+// TestIncrementalForcedInput mirrors RunForced's rule that forcing an
+// input gate overrides the corresponding input word.
+func TestIncrementalForcedInput(t *testing.T) {
+	b := circuit.NewBuilder("forced-input")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.Gate(logic.And, "g", a, x)
+	o := b.Gate(logic.Not, "o", g)
+	b.Output(o)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental(c)
+	inc.SetBaseline([]uint64{0, ^uint64(0)})
+	inc.Force(a, ^uint64(0))
+	if inc.Value(g) != ^uint64(0) || inc.Value(o) != 0 {
+		t.Fatalf("forced input did not propagate: g=%x o=%x", inc.Value(g), inc.Value(o))
+	}
+	inc.Undo()
+	if inc.Value(g) != 0 || inc.Value(o) != ^uint64(0) {
+		t.Fatalf("Undo did not restore: g=%x o=%x", inc.Value(g), inc.Value(o))
+	}
+}

@@ -1,8 +1,10 @@
 // Package sim provides the fast simulation engines the simulation-based
 // diagnosis approaches rely on: a 64-way bit-parallel two-valued
 // simulator, forced-value simulation (the what-if engine behind effect
-// analysis), and a three-valued X simulator in the style of the
-// X-injection diagnosis the paper cites.
+// analysis), an event-driven IncrementalSimulator that answers
+// forced-gate queries by resimulating only the affected fanout cone
+// against a resident baseline, and a three-valued X simulator in the
+// style of the X-injection diagnosis the paper cites.
 package sim
 
 import (
@@ -86,6 +88,36 @@ func (s *Simulator) RunForced(inputs []uint64, forced []Forced) {
 				s.vals[i] = v
 			}
 		}
+	}
+}
+
+// RunCone evaluates only the gates whose IDs are in cone, which must be
+// closed under fanin (a union of fanin cones, as produced by
+// circuit.Analysis.FaninConeBits). Words of gates outside the cone are
+// left stale; within the cone the result equals a full Run. Restricting
+// evaluation to the observed outputs' fanin cones is the simulation-side
+// counterpart of the cone-reduced CNF copies of the SAT approach.
+func (s *Simulator) RunCone(inputs []uint64, cone circuit.Bitset) {
+	c := s.c
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: %d input words for %d inputs", len(inputs), len(c.Inputs)))
+	}
+	for pos, id := range c.Inputs {
+		s.vals[id] = inputs[pos]
+	}
+	for i := range c.Gates {
+		if !cone.Has(i) {
+			continue
+		}
+		g := &c.Gates[i]
+		if g.Kind == logic.Input {
+			continue
+		}
+		fan := s.fan[:len(g.Fanin)]
+		for j, f := range g.Fanin {
+			fan[j] = s.vals[f]
+		}
+		s.vals[i] = g.Eval(fan)
 	}
 }
 
