@@ -158,6 +158,61 @@ func BenchmarkTable2_BSAT_All(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2_CEGAR_vs_Mono compares the two SAT drivers on the
+// Table 2 circuits: the monolithic instance (one constrained copy per
+// test up front) against the CEGAR session (seeded with one test per
+// erroneous output, grown only by simulation-refuted candidates). Both
+// enumerate identical solution sets — the equivalence property suite
+// asserts that — so the metrics isolate the cost of the abstraction:
+// instance vars/clauses and the number of encoded copies. With m >= 16
+// tests the CEGAR run must encode strictly fewer copies (asserted).
+func BenchmarkTable2_CEGAR_vs_Mono(b *testing.B) {
+	for _, w := range table2Workload {
+		if w.big && testing.Short() {
+			continue
+		}
+		for _, m := range []int{4, 16} {
+			sc := scenarioFor(b, w.circuit, w.p, w.seed)
+			tests := sc.Tests.Prefix(m)
+			if len(tests) < m {
+				continue // scenario could not expose m distinct failing triples
+			}
+			opts := core.BSATOptions{K: w.p, MaxSolutions: benchBudget.MaxSolutions, Timeout: benchBudget.Timeout}
+			b.Run(fmt.Sprintf("%s/p%d/m%d/mono", w.circuit, w.p, m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := core.BSAT(sc.Faulty, tests, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Vars), "vars")
+					b.ReportMetric(float64(res.Clauses), "clauses")
+					b.ReportMetric(float64(len(tests)), "copies")
+					b.ReportMetric(float64(len(res.Solutions)), "solutions")
+				}
+			})
+			// CEGAR seeds one copy per distinct erroneous output; only
+			// when that leaves headroom can it encode fewer than m.
+			seeds := len(tests.Outputs())
+			b.Run(fmt.Sprintf("%s/p%d/m%d/cegar", w.circuit, w.p, m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := core.CEGARDiagnose(sc.Faulty, tests, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m >= 16 && seeds < m && res.Complete && res.Copies >= len(tests) {
+						b.Fatalf("CEGAR encoded %d of %d copies — abstraction did not pay off", res.Copies, len(tests))
+					}
+					b.ReportMetric(float64(res.Vars), "vars")
+					b.ReportMetric(float64(res.Clauses), "clauses")
+					b.ReportMetric(float64(res.Copies), "copies")
+					b.ReportMetric(float64(res.Refinements), "refinements")
+					b.ReportMetric(float64(len(res.Solutions)), "solutions")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTable3_Row measures the complete quality row (all three
 // engines plus the distance statistics) — the unit of work behind every
 // Table 3 line.

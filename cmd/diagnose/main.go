@@ -32,6 +32,7 @@ func main() {
 		numTests    = flag.Int("tests", 8, "number of tests m")
 		k           = flag.Int("k", 0, "correction size limit (default: number of injected errors)")
 		method      = flag.String("method", "all", "bsim, cov, bsat, hybrid, or all")
+		engine      = flag.String("engine", "mono", "SAT engine: mono (one copy per test) or cegar (lazy abstraction, identical solutions)")
 		maxSol      = flag.Int("max-solutions", 5000, "solution cap per engine (0 = unlimited)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "BSAT enumeration timeout (0 = unlimited)")
 		verbose     = flag.Bool("v", false, "print individual solutions")
@@ -45,14 +46,14 @@ func main() {
 		return
 	}
 	if err := run(*circuitName, *goldenPath, *faultyPath, *inject, *seed, *model,
-		*numTests, *k, *method, *maxSol, *timeout, *verbose); err != nil {
+		*numTests, *k, *method, *engine, *maxSol, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
 		os.Exit(1)
 	}
 }
 
 func run(circuitName, goldenPath, faultyPath string, inject int, seed int64, model string,
-	numTests, k int, method string, maxSol int, timeout time.Duration, verbose bool) error {
+	numTests, k int, method, engine string, maxSol int, timeout time.Duration, verbose bool) error {
 
 	var (
 		golden, faulty *diagnosis.Circuit
@@ -114,6 +115,13 @@ func run(circuitName, goldenPath, faultyPath string, inject int, seed int64, mod
 	want := strings.ToLower(method)
 	do := func(name string) bool { return want == "all" || want == name }
 
+	if engine != "" && engine != "mono" && engine != "cegar" {
+		return fmt.Errorf("unknown engine %q (want mono or cegar)", engine)
+	}
+	if engine == "cegar" && want == "hybrid" {
+		return fmt.Errorf("-engine cegar does not combine with -method hybrid (steering is a mono-BSAT feature); use -method bsat")
+	}
+
 	if do("bsim") {
 		res := diagnosis.DiagnoseBSIM(faulty, tests, diagnosis.PTOptions{})
 		fmt.Printf("\n[BSIM] %v: |union(Ci)| = %d, Gmax = %d gates\n",
@@ -136,9 +144,18 @@ func run(circuitName, goldenPath, faultyPath string, inject int, seed int64, mod
 	if do("bsat") || do("hybrid") {
 		opts := diagnosis.BSATOptions{K: k, MaxSolutions: maxSol, Timeout: timeout}
 		var res *diagnosis.BSATResult
-		if do("hybrid") && want != "all" {
+		switch {
+		case engine == "cegar":
+			var cres *diagnosis.CEGARResult
+			cres, err = diagnosis.DiagnoseCEGAR(faulty, tests, opts)
+			if err == nil {
+				res = &cres.BSATResult
+				fmt.Printf("\n[BSAT] cegar: %d/%d test copies encoded (%d refinements, %d candidates checked)\n",
+					cres.Copies, len(tests), cres.Refinements, cres.Checked)
+			}
+		case do("hybrid") && want != "all":
 			res, _, err = diagnosis.DiagnoseHybrid(faulty, tests, opts, diagnosis.PTOptions{})
-		} else {
+		default:
 			res, err = diagnosis.DiagnoseBSAT(faulty, tests, opts)
 		}
 		if err != nil {

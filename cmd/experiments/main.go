@@ -8,6 +8,9 @@
 //
 // -scale quick shrinks the workload for smoke runs; -scale paper uses the
 // full-size s38417 analog and the paper's 30-minute style budgets.
+// -engine cegar swaps the BSAT column onto the lazy CEGAR driver (same
+// solutions, fewer encoded test copies; the "copies" column reports how
+// many).
 package main
 
 import (
@@ -30,20 +33,26 @@ func main() {
 		scale   = flag.String("scale", "default", "workload scale: quick, default, paper")
 		maxSol  = flag.Int("max-solutions", 5000, "solution cap per enumeration (0 = unlimited)")
 		timeout = flag.Duration("timeout", 3*time.Minute, "per-enumeration timeout (0 = unlimited)")
+		engName = flag.String("engine", "mono", "SAT engine for the BSAT column: mono (one copy per test) or cegar (lazy abstraction)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*fig6 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	engine, err := expt.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	budget := expt.Budget{MaxSolutions: *maxSol, Timeout: *timeout}
-	if err := run(*table, *fig6, *all, *outDir, *scale, budget); err != nil {
+	if err := run(*table, *fig6, *all, *outDir, *scale, budget, engine); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget) error {
+func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget, engine expt.Engine) error {
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -64,7 +73,7 @@ func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget) er
 	}
 
 	if all || table != 0 {
-		rows, err := tableRows(scale, budget)
+		rows, err := tableRows(scale, budget, engine)
 		if err != nil {
 			return err
 		}
@@ -103,8 +112,11 @@ func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget) er
 	return nil
 }
 
-func tableRows(scale string, budget expt.Budget) ([]*expt.Row, error) {
+func tableRows(scale string, budget expt.Budget, engine expt.Engine) ([]*expt.Row, error) {
 	configs := expt.Table2Configs(budget)
+	for i := range configs {
+		configs[i].Engine = engine
+	}
 	switch scale {
 	case "quick":
 		for i := range configs {

@@ -96,6 +96,9 @@ type (
 	BSATOptions = core.BSATOptions
 	// BSATResult holds the valid, essential-only corrections.
 	BSATResult = core.BSATResult
+	// CEGARResult extends BSATResult with abstraction statistics
+	// (encoded copies, refinements) of the lazy CEGAR driver.
+	CEGARResult = core.CEGARResult
 	// RepairResult is the outcome of the COV-seeded hybrid.
 	RepairResult = core.RepairResult
 	// GateFunction is a reconstructed partial truth table for a repair.
@@ -229,6 +232,17 @@ func DiagnoseBSAT(faulty *Circuit, tests TestSet, opts BSATOptions) (*BSATResult
 	return core.BSAT(faulty, tests, opts)
 }
 
+// DiagnoseCEGAR runs the counterexample-guided form of SAT diagnosis:
+// the instance is seeded with one test per distinct erroneous output
+// and grown lazily, with candidate corrections validated against the
+// full test-set by the incremental simulation oracle and refuting tests
+// added as new copies. The solution set is provably identical to
+// DiagnoseBSAT; the instance encodes only CEGARResult.Copies of the m
+// test copies the monolith pays for up front.
+func DiagnoseCEGAR(faulty *Circuit, tests TestSet, opts BSATOptions) (*CEGARResult, error) {
+	return core.CEGARDiagnose(faulty, tests, opts)
+}
+
 // DiagnoseHybrid runs BSAT with its decision heuristics steered by
 // path-trace mark counts (the paper's Section 6 hybrid); the solution
 // set is identical to DiagnoseBSAT.
@@ -241,6 +255,15 @@ func DiagnoseHybrid(faulty *Circuit, tests TestSet, opts BSATOptions, pt PTOptio
 // hybrid).
 func RepairCover(faulty *Circuit, tests TestSet, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
 	return core.CovGuidedRepair(faulty, tests, covRes, opts)
+}
+
+// RepairCoverReusing is RepairCover against the live diagnosis session
+// of an earlier BSAT/hybrid/CEGAR run over the same circuit, so the
+// repair queries skip instance construction entirely. tests is the
+// full test-set the repair must be valid for (a CEGAR session encodes
+// only a subset of it); every reported repair is validated against it.
+func RepairCoverReusing(bsatRes *BSATResult, tests TestSet, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
+	return core.CovGuidedRepairSession(bsatRes.Session(), tests, covRes, opts)
 }
 
 // Validate performs exact effect analysis (Definition 3): can values at

@@ -1,13 +1,8 @@
 package cnf
 
 import (
-	"sort"
-	"time"
-
 	"repro/internal/circuit"
-	"repro/internal/logic"
 	"repro/internal/sat"
-	"repro/internal/sim"
 )
 
 // DiagOptions configures the diagnosis SAT instance of Figure 2/3.
@@ -54,30 +49,21 @@ type DiagOptions struct {
 	// correct values — the generalization discussed with Table 3 ("when
 	// additional outputs are introduced into the diagnosis problem").
 	Golden *circuit.Circuit
+
+	// GuardTests attaches each test copy's input/output constraints to a
+	// per-copy guard literal instead of asserting them, so enumeration
+	// rounds can scope the active test-set by assumptions
+	// (DiagSession.ActivationAssumps) — the session form of the paper's
+	// test-set-splitting heuristic. Guarded copies cannot be constant-
+	// folded at level 0, so monolithic single-shot instances should
+	// leave this off.
+	GuardTests bool
 }
 
-// Instance is a built diagnosis SAT instance.
-type Instance struct {
-	Solver  *sat.Solver
-	Circuit *circuit.Circuit
-	Tests   circuit.TestSet
-	// Candidates labels the selection units reported in corrections: one
-	// entry per select line. For plain diagnosis these are the candidate
-	// gate IDs; for grouped (sequential) diagnosis, the group labels.
-	Candidates []int
-	Sels       []sat.Lit // select literal per candidate/group
-	Ladder     *Ladder
-
-	// GateVars[i][g] is the output variable of gate g in test copy i, or
-	// NoVar when the gate is outside the encoded cone of copy i.
-	GateVars [][]sat.Var
-	// CorrVars[i][g] is the free correction value injected at gate g in
-	// test copy i, or NoVar when g has no multiplexer in that copy.
-	CorrVars [][]sat.Var
-
-	selIndex  map[int]int // gate ID -> select position
-	BuildTime time.Duration
-}
+// Instance is a built diagnosis SAT instance. It is the same object as
+// the incremental DiagSession; BuildDiag is simply NewSession followed
+// by AddTests.
+type Instance = DiagSession
 
 // NoVar marks an absent variable in cone-restricted copies.
 const NoVar sat.Var = -1
@@ -87,124 +73,9 @@ const NoVar sat.Var = -1
 // per candidate gate whose select line is shared across copies, and a
 // cardinality ladder over the select lines.
 func BuildDiag(c *circuit.Circuit, tests circuit.TestSet, opts DiagOptions) *Instance {
-	start := time.Now()
-	s := sat.New()
-
-	// Normalize the selection units to groups with labels.
-	groups := opts.Groups
-	labels := opts.GroupLabels
-	if groups == nil {
-		cands := opts.Candidates
-		if cands == nil {
-			cands = c.InternalGates()
-		} else {
-			cands = append([]int(nil), cands...)
-			sort.Ints(cands)
-		}
-		groups = make([][]int, len(cands))
-		for j, g := range cands {
-			groups[j] = []int{g}
-		}
-		labels = cands
-	} else if labels == nil {
-		labels = make([]int, len(groups))
-		for j, grp := range groups {
-			min := grp[0]
-			for _, g := range grp {
-				if g < min {
-					min = g
-				}
-			}
-			labels[j] = min
-		}
-	}
-	inst := &Instance{
-		Solver:     s,
-		Circuit:    c,
-		Tests:      tests,
-		Candidates: labels,
-		Sels:       make([]sat.Lit, len(groups)),
-		GateVars:   make([][]sat.Var, len(tests)),
-		CorrVars:   make([][]sat.Var, len(tests)),
-		selIndex:   make(map[int]int),
-	}
-	for j, grp := range groups {
-		inst.Sels[j] = sat.PosLit(s.NewVar())
-		for _, g := range grp {
-			inst.selIndex[g] = j
-		}
-	}
-
-	var golden *sim.Simulator
-	if opts.Golden != nil {
-		golden = sim.New(opts.Golden)
-	}
-
-	for i, t := range tests {
-		inCone := coneFor(c, t, opts, golden != nil)
-		gateVars := make([]sat.Var, len(c.Gates))
-		corrVars := make([]sat.Var, len(c.Gates))
-		for g := range gateVars {
-			gateVars[g] = NoVar
-			corrVars[g] = NoVar
-		}
-		for g := range c.Gates {
-			if inCone != nil && !inCone[g] {
-				continue
-			}
-			gate := &c.Gates[g]
-			y := s.NewVar()
-			gateVars[g] = y
-			if gate.Kind == logic.Input {
-				// Constrain to the test-vector value.
-				pos := c.InputPos(g)
-				s.AddClause(sat.MkLit(y, !t.Vector[pos]))
-				continue
-			}
-			fan := make([]sat.Lit, len(gate.Fanin))
-			for fi, f := range gate.Fanin {
-				fan[fi] = sat.PosLit(gateVars[f])
-			}
-			if j, isCand := inst.selIndex[g]; isCand {
-				z := sat.PosLit(s.NewVar())
-				EncodeGate(s, gate, z, fan)
-				cv := s.NewVar()
-				corrVars[g] = cv
-				EncodeMux(s, sat.PosLit(y), inst.Sels[j], sat.PosLit(cv), z)
-				if opts.ForceZero {
-					// ¬sel -> ¬c
-					s.AddClause(inst.Sels[j], sat.NegLit(cv))
-				}
-			} else {
-				EncodeGate(s, gate, sat.PosLit(y), fan)
-			}
-		}
-		inst.GateVars[i] = gateVars
-		inst.CorrVars[i] = corrVars
-
-		// Constrain the erroneous output to its correct value.
-		s.AddClause(sat.MkLit(gateVars[t.Output], !t.Want))
-
-		// Optionally constrain every other output to the golden value.
-		if golden != nil {
-			golden.RunVector(t.Vector)
-			for _, o := range opts.Golden.Outputs {
-				if o == t.Output || gateVars[o] == NoVar {
-					continue
-				}
-				s.AddClause(sat.MkLit(gateVars[o], !golden.OutputBit(o)))
-			}
-		}
-	}
-
-	enc := opts.Encoding
-	maxK := opts.MaxK
-	if maxK <= 0 {
-		maxK = 1
-	}
-	inst.Ladder = AddLadder(s, inst.Sels, maxK, enc)
-	inst.BuildTime = time.Since(start)
-	return inst
+	sess := NewSession(c, opts)
+	sess.AddTests(tests)
+	return sess
 }
 
 // coneFor returns the gate set to encode for one test copy, or nil for
@@ -228,34 +99,4 @@ func coneFor(c *circuit.Circuit, t circuit.Test, opts DiagOptions, allOutputs bo
 		return cone
 	}
 	return c.FaninCone(t.Output)
-}
-
-// SelLit returns the select literal of the given candidate gate.
-func (inst *Instance) SelLit(gate int) (sat.Lit, bool) {
-	j, ok := inst.selIndex[gate]
-	if !ok {
-		return sat.LitUndef, false
-	}
-	return inst.Sels[j], true
-}
-
-// CandidateIndex returns the candidate position of a gate ID.
-func (inst *Instance) CandidateIndex(gate int) (int, bool) {
-	j, ok := inst.selIndex[gate]
-	return j, ok
-}
-
-// AtMost returns the assumption slice enforcing that at most k
-// corrections are selected (empty when no constraint is needed).
-func (inst *Instance) AtMost(k int) []sat.Lit {
-	l := inst.Ladder.AtMost(k)
-	if l == sat.LitUndef {
-		return nil
-	}
-	return []sat.Lit{l}
-}
-
-// Size reports instance dimensions for the Table 1/Table 2 "CNF" columns.
-func (inst *Instance) Size() (vars, clauses int) {
-	return inst.Solver.NumVars(), inst.Solver.NumClauses()
 }

@@ -1,0 +1,182 @@
+package cnf_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/sat"
+	"repro/internal/tgen"
+)
+
+// sessionScenario builds a reproducible faulty circuit with a failing
+// test-set, skipping seeds whose injected fault is undetectable.
+func sessionScenario(t *testing.T, seed int64, m int) (*circuit.Circuit, circuit.TestSet) {
+	t.Helper()
+	golden, err := gen.Generate(gen.Spec{Name: "sess", Inputs: 6, Outputs: 3, Gates: 40, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, _, err := faults.Inject(golden, faults.Options{Count: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := tgen.Random(golden, faulty, tgen.Options{Count: m, Seed: seed, MaxPatterns: 1 << 12})
+	if err == tgen.ErrUndetected {
+		t.Skipf("seed %d: fault undetectable", seed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return faulty, tests
+}
+
+// roundKeys enumerates one round to completion and returns the solution
+// keys, sorted.
+func roundKeys(t *testing.T, sess *cnf.DiagSession, opts cnf.RoundOptions) []string {
+	t.Helper()
+	var keys []string
+	_, complete := sess.EnumerateRound(opts, func(_ int, gates []int) bool {
+		keys = append(keys, fmt.Sprint(gates))
+		return true
+	})
+	if !complete {
+		t.Fatal("enumeration incomplete without budgets")
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSessionIncrementalMatchesMonolithic: appending test copies one by
+// one must yield the same solution space as the one-shot cnf.BuildDiag.
+func TestSessionIncrementalMatchesMonolithic(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		c, tests := sessionScenario(t, seed, 6)
+		mono := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+		monoKeys := roundKeys(t, mono, cnf.RoundOptions{MaxK: 2})
+
+		sess := cnf.NewSession(c, cnf.DiagOptions{MaxK: 2})
+		for _, tc := range tests {
+			sess.AddTest(tc)
+		}
+		if sess.NumTests() != len(tests) {
+			t.Fatalf("seed %d: %d copies for %d tests", seed, sess.NumTests(), len(tests))
+		}
+		if got := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2}); !sameKeys(got, monoKeys) {
+			t.Fatalf("seed %d: incremental %v != monolithic %v", seed, got, monoKeys)
+		}
+	}
+}
+
+// TestSessionRoundsAreIndependent: retiring a round must retract its
+// blocking clauses, so consecutive rounds on one session enumerate the
+// same solutions, and plain Solve queries still work in between.
+func TestSessionRoundsAreIndependent(t *testing.T) {
+	c, tests := sessionScenario(t, 3, 6)
+	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+	first := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
+	if len(first) == 0 {
+		t.Skip("no solutions for this scenario")
+	}
+	// A direct query between rounds: assuming every select off must be
+	// UNSAT (the tests fail by definition), and the session must survive.
+	off := make([]sat.Lit, len(sess.Sels))
+	for j, l := range sess.Sels {
+		off[j] = l.Neg()
+	}
+	if st := sess.Solver.Solve(off...); st != sat.StatusUnsat {
+		t.Fatalf("all-selects-off should be UNSAT, got %v", st)
+	}
+	for round := 2; round <= 3; round++ {
+		if got := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2}); !sameKeys(got, first) {
+			t.Fatalf("round %d: %v != round 1 %v", round, got, first)
+		}
+	}
+}
+
+// TestSessionRestrictMatchesRebuild: confining candidates by assumptions
+// must equal an instance built with that candidate list.
+func TestSessionRestrictMatchesRebuild(t *testing.T) {
+	c, tests := sessionScenario(t, 5, 6)
+	all := c.InternalGates()
+	if len(all) < 4 {
+		t.Skip("circuit too small")
+	}
+	subset := append([]int(nil), all[:len(all)/2]...)
+
+	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+	restricted := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2, Restrict: subset})
+
+	rebuilt := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2, Candidates: subset})
+	want := roundKeys(t, rebuilt, cnf.RoundOptions{MaxK: 2})
+	if !sameKeys(restricted, want) {
+		t.Fatalf("restricted %v != rebuilt %v", restricted, want)
+	}
+}
+
+// TestSessionGuardedActivationMatchesRebuild: scoping a guarded session
+// to a test subset by assumptions must equal an instance built over just
+// that subset.
+func TestSessionGuardedActivationMatchesRebuild(t *testing.T) {
+	for seed := int64(2); seed <= 5; seed++ {
+		c, tests := sessionScenario(t, seed, 8)
+		if len(tests) < 4 {
+			continue
+		}
+		sess := cnf.NewSession(c, cnf.DiagOptions{MaxK: 2, GuardTests: true})
+		sess.AddTests(tests)
+		if len(sess.TestGuards) != len(tests) {
+			t.Fatalf("seed %d: %d guards for %d tests", seed, len(sess.TestGuards), len(tests))
+		}
+		for lo := 0; lo < len(tests); lo += 2 {
+			hi := lo + 2
+			if hi > len(tests) {
+				hi = len(tests)
+			}
+			active := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				active = append(active, i)
+			}
+			scoped := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2, ActiveTests: active})
+			rebuilt := cnf.BuildDiag(c, tests[lo:hi], cnf.DiagOptions{MaxK: 2})
+			want := roundKeys(t, rebuilt, cnf.RoundOptions{MaxK: 2})
+			if !sameKeys(scoped, want) {
+				t.Fatalf("seed %d partition [%d,%d): scoped %v != rebuilt %v", seed, lo, hi, scoped, want)
+			}
+		}
+	}
+}
+
+// TestSessionRoundBudgetsAreFresh: a round whose timeout expired must
+// not poison the next round — EnumerateRound installs budgets per round.
+func TestSessionRoundBudgetsAreFresh(t *testing.T) {
+	c, tests := sessionScenario(t, 3, 6)
+	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+	want := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
+
+	// A nanosecond round times out immediately (fast-fail deadline check).
+	n, complete := sess.EnumerateRound(cnf.RoundOptions{MaxK: 2, Timeout: 1}, nil)
+	if complete {
+		t.Skipf("nanosecond round completed anyway (%d solutions)", n)
+	}
+	// The next unbudgeted round must be unaffected by the stale deadline.
+	if got := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2}); !sameKeys(got, want) {
+		t.Fatalf("round after timeout: %v != %v", got, want)
+	}
+}

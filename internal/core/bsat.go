@@ -49,10 +49,23 @@ type BSATOptions struct {
 	// Timeout bounds the whole enumeration (0 = unlimited).
 	Timeout time.Duration
 
-	// Steer, when non-nil, is applied to the solver after instance
+	// Steer, when non-nil, is applied to the live session after instance
 	// construction — the hook the hybrid approach uses to tune decision
 	// heuristics from simulation results (Section 6).
 	Steer func(inst *cnf.Instance)
+}
+
+func (o BSATOptions) diagOptions() cnf.DiagOptions {
+	return cnf.DiagOptions{
+		Candidates:  o.Candidates,
+		Groups:      o.Groups,
+		GroupLabels: o.GroupLabels,
+		MaxK:        o.K,
+		Encoding:    o.Encoding,
+		ForceZero:   o.ForceZero,
+		ConeOnly:    o.ConeOnly,
+		Golden:      o.Golden,
+	}
 }
 
 // BSATResult is the outcome of BasicSATDiagnose.
@@ -62,8 +75,14 @@ type BSATResult struct {
 	Vars    int // SAT instance size (Θ(|I|·m) per Table 1)
 	Clauses int
 	Stats   sat.Stats
-	inst    *cnf.Instance
+	sess    *cnf.DiagSession
 }
+
+// Session exposes the live diagnosis session behind the result. Its
+// enumeration rounds have been retired, so it can serve further queries
+// (ExtractFunctions, CovGuidedRepairSession, additional rounds) without
+// rebuilding the instance.
+func (r *BSATResult) Session() *cnf.DiagSession { return r.sess }
 
 // BSAT implements BasicSATDiagnose (Figure 3): build the instance F —
 // one constrained circuit copy per test, correction multiplexers with
@@ -72,6 +91,10 @@ type BSATResult struct {
 // solution. Every returned correction is valid (Lemma 1) and contains
 // only essential candidates (Lemma 3), provided enumeration completed
 // within the budgets (Complete reports this).
+//
+// The instance lives in a cnf.DiagSession and the enumeration runs as
+// one retired round, so the returned result holds a reusable session
+// instead of a solver poisoned by blocking clauses.
 func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATResult, error) {
 	if opts.K < 1 {
 		return nil, fmt.Errorf("core: BSAT requires K >= 1, got %d", opts.K)
@@ -79,58 +102,31 @@ func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATRes
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("core: BSAT requires a non-empty test-set")
 	}
-	inst := cnf.BuildDiag(c, tests, cnf.DiagOptions{
-		Candidates:  opts.Candidates,
-		Groups:      opts.Groups,
-		GroupLabels: opts.GroupLabels,
-		MaxK:        opts.K,
-		Encoding:    opts.Encoding,
-		ForceZero:   opts.ForceZero,
-		ConeOnly:    opts.ConeOnly,
-		Golden:      opts.Golden,
-	})
+	sess := cnf.NewSession(c, opts.diagOptions())
+	sess.AddTests(tests)
 	if opts.Steer != nil {
-		opts.Steer(inst)
+		opts.Steer(sess)
 	}
-	res := &BSATResult{inst: inst}
-	res.Timings.CNF = inst.BuildTime
-	res.Vars, res.Clauses = inst.Size()
-
-	solver := inst.Solver
-	solver.MaxConflicts = opts.MaxConflicts
-	if opts.Timeout > 0 {
-		solver.Deadline = time.Now().Add(opts.Timeout)
-	}
+	res := &BSATResult{sess: sess}
+	res.Timings.CNF = sess.BuildTime
+	res.Vars, res.Clauses = sess.Size()
 
 	start := time.Now()
-	res.Complete = true
-	for k := 1; k <= opts.K; k++ {
-		remaining := 0
-		if opts.MaxSolutions > 0 {
-			remaining = opts.MaxSolutions - len(res.Solutions)
-			if remaining <= 0 {
-				res.Complete = false
-				break
-			}
+	_, complete := sess.EnumerateRound(cnf.RoundOptions{
+		MaxK:         opts.K,
+		MaxSolutions: opts.MaxSolutions,
+		MaxConflicts: opts.MaxConflicts,
+		Timeout:      opts.Timeout,
+	}, func(k int, gates []int) bool {
+		if len(res.Solutions) == 0 {
+			res.Timings.One = time.Since(start)
 		}
-		_, complete := solver.EnumerateProjected(inst.Sels, sat.EnumOptions{
-			Assumptions:  inst.AtMost(k),
-			MaxSolutions: remaining,
-		}, func(trueLits []sat.Lit) bool {
-			if len(res.Solutions) == 0 {
-				res.Timings.One = time.Since(start)
-			}
-			gates := litsToGates(inst.Sels, inst.Candidates, trueLits)
-			res.Solutions = append(res.Solutions, NewCorrection(gates))
-			return true
-		})
-		if !complete {
-			res.Complete = false
-			break
-		}
-	}
+		res.Solutions = append(res.Solutions, NewCorrection(gates))
+		return true
+	})
+	res.Complete = complete
 	res.Timings.All = time.Since(start)
-	res.Stats = solver.Stats
+	res.Stats = sess.Solver.Stats
 	return res, nil
 }
 
@@ -146,57 +142,55 @@ type GateFunction struct {
 	Agrees bool         // consistent across tests (no conflicting minterm)
 }
 
-// ExtractFunctions re-solves the instance with the given correction
-// selected and reads back, for every corrected gate and every test, the
-// fanin values and the injected correction value — yielding the partial
-// specification of the repaired gate functions. The correction must be
-// one of the enumerated solutions (or at least a valid correction).
+// ExtractFunctions re-solves the live session with the given correction
+// selected and reads back, for every corrected gate and every encoded
+// test copy, the fanin values and the injected correction value —
+// yielding the partial specification of the repaired gate functions.
+// The correction must be one of the enumerated solutions (or at least a
+// valid correction). Because the enumeration rounds are retired (their
+// blocking clauses retracted), no fresh instance is built: the query is
+// one Solve under select-line assumptions.
 func (r *BSATResult) ExtractFunctions(corr Correction) ([]GateFunction, error) {
-	inst := r.inst
-	// The blocking clauses added during enumeration forbid re-deriving a
-	// model for an already-enumerated correction, so extraction rebuilds a
-	// fresh instance and assumes exactly this correction: its selects on,
-	// all others off.
-	fresh := cnf.BuildDiag(inst.Circuit, inst.Tests, cnf.DiagOptions{
-		Candidates: inst.Candidates,
-		MaxK:       corr.Size(),
-	})
-	freshAssumps := make([]sat.Lit, 0, len(fresh.Sels))
-	for j, g := range fresh.Candidates {
+	sess := r.sess
+	assumps := make([]sat.Lit, 0, len(sess.Sels)+len(sess.TestGuards))
+	for j, g := range sess.Candidates {
 		if corr.Contains(g) {
-			freshAssumps = append(freshAssumps, fresh.Sels[j])
+			assumps = append(assumps, sess.Sels[j])
 		} else {
-			freshAssumps = append(freshAssumps, fresh.Sels[j].Neg())
+			assumps = append(assumps, sess.Sels[j].Neg())
 		}
 	}
-	if st := fresh.Solver.Solve(freshAssumps...); st != sat.StatusSat {
+	// Every encoded copy must bind during extraction.
+	assumps = append(assumps, sess.ActivationAssumps(nil)...)
+	sess.Solver.SetBudget(0, 0)
+	if st := sess.Solver.Solve(assumps...); st != sat.StatusSat {
 		return nil, fmt.Errorf("core: correction %v is not realizable (%v)", corr, st)
 	}
 	var out []GateFunction
 	for _, g := range corr.Gates {
-		gate := &inst.Circuit.Gates[g]
+		gate := &sess.Circuit.Gates[g]
 		gf := GateFunction{Gate: g, Fanin: append([]int(nil), gate.Fanin...), Care: make(map[int]bool), Agrees: true}
-		for i := range fresh.Tests {
-			cv := fresh.CorrVars[i][g]
+		for i := range sess.Tests {
+			cv := sess.CorrVars[i][g]
 			if cv == cnf.NoVar {
 				continue
 			}
 			minterm := 0
 			ok := true
 			for bit, f := range gate.Fanin {
-				fv := fresh.GateVars[i][f]
+				fv := sess.GateVars[i][f]
 				if fv == cnf.NoVar {
 					ok = false
 					break
 				}
-				if fresh.Solver.Value(fv) == sat.LTrue {
+				if sess.Solver.Value(fv) == sat.LTrue {
 					minterm |= 1 << uint(bit)
 				}
 			}
 			if !ok {
 				continue
 			}
-			val := fresh.Solver.Value(cv) == sat.LTrue
+			val := sess.Solver.Value(cv) == sat.LTrue
 			if prev, seen := gf.Care[minterm]; seen && prev != val {
 				gf.Agrees = false
 			}
@@ -205,6 +199,26 @@ func (r *BSATResult) ExtractFunctions(corr Correction) ([]GateFunction, error) {
 		out = append(out, gf)
 	}
 	return out, nil
+}
+
+// ffrCandidates computes the two candidate tiers of the dominator-style
+// two-pass heuristic: the fanout-free-region roots, and (given the
+// regions named by pass-1 solutions) the fine-grained members.
+func ffrCandidates(c *circuit.Circuit) (roots []int, rootOf []int) {
+	rootOf = c.FFRRoots()
+	rootSet := make(map[int]bool)
+	for g, r := range rootOf {
+		if c.Gates[g].Kind != logic.Input {
+			rootSet[r] = true
+		}
+	}
+	for r := range rootSet {
+		if c.Gates[r].Kind != logic.Input {
+			roots = append(roots, r)
+		}
+	}
+	sort.Ints(roots)
+	return roots, rootOf
 }
 
 // FFRTwoPass is the dominator-style two-pass heuristic of the advanced
@@ -216,28 +230,71 @@ func (r *BSATResult) ExtractFunctions(corr Correction) ([]GateFunction, error) {
 // and non-empty whenever pass 1 finds solutions, but unlike the paper's
 // exact claim for its heuristics it may omit fine-grained solutions
 // whose region roots were redundant at the coarse level; see DESIGN.md.
+//
+// Both passes run on one shared DiagSession: the instance (with
+// multiplexers at every internal gate) is encoded once, and each pass
+// confines its candidate tier by select-line assumptions instead of
+// rebuilding — the projected solution spaces are identical to the
+// per-pass instances of the monolithic formulation. Accordingly both
+// results report the shared instance's Vars/Clauses, the one-time
+// build cost lands in pass 1's Timings.CNF (pass 2's is zero — that is
+// the saving), and each Stats covers only its own pass's solver work.
+//
+// Trade-off of the shared instance: pass 1 solves over the full-mux
+// encoding (selects at every internal gate, assumed off outside the
+// root tier) instead of the old roots-only instance, so its per-Solve
+// cost no longer shrinks with the root count — the price paid for
+// eliminating the second build and sharing learnt clauses between the
+// passes. Workloads that run pass 1 alone on huge circuits may prefer
+// a plain BSAT call with Candidates set to the FFR roots.
 func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATResult, *BSATResult, error) {
-	roots := c.FFRRoots()
-	rootSet := make(map[int]bool)
-	for g, r := range roots {
-		if c.Gates[g].Kind != logic.Input {
-			rootSet[r] = true
-		}
+	if opts.K < 1 {
+		return nil, nil, fmt.Errorf("core: FFRTwoPass requires K >= 1, got %d", opts.K)
 	}
-	rootCands := make([]int, 0, len(rootSet))
-	for r := range rootSet {
-		if c.Gates[r].Kind != logic.Input {
-			rootCands = append(rootCands, r)
-		}
+	if len(tests) == 0 {
+		return nil, nil, fmt.Errorf("core: FFRTwoPass requires a non-empty test-set")
 	}
-	sort.Ints(rootCands)
+	rootCands, rootOf := ffrCandidates(c)
 
-	passOpts := opts
-	passOpts.Candidates = rootCands
-	pass1, err := BSAT(c, tests, passOpts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: FFR pass 1: %w", err)
+	sessOpts := opts.diagOptions()
+	sessOpts.Candidates = nil // every internal gate; passes restrict by assumptions
+	sess := cnf.NewSession(c, sessOpts)
+	sess.AddTests(tests)
+	if opts.Steer != nil {
+		opts.Steer(sess)
 	}
+
+	// Both passes report the shared instance's size as encoded, free of
+	// any round artifacts (guard variables, blocking clauses).
+	vars, clauses := sess.Size()
+	runPass := func(cands []int) *BSATResult {
+		res := &BSATResult{sess: sess}
+		// Stats is this pass's own solver work.
+		res.Vars, res.Clauses = vars, clauses
+		before := sess.Solver.Stats
+		start := time.Now()
+		_, complete := sess.EnumerateRound(cnf.RoundOptions{
+			MaxK:         opts.K,
+			Restrict:     cands,
+			MaxSolutions: opts.MaxSolutions,
+			MaxConflicts: opts.MaxConflicts,
+			Timeout:      opts.Timeout,
+		}, func(k int, gates []int) bool {
+			if len(res.Solutions) == 0 {
+				res.Timings.One = time.Since(start)
+			}
+			res.Solutions = append(res.Solutions, NewCorrection(gates))
+			return true
+		})
+		res.Complete = complete
+		res.Timings.All = time.Since(start)
+		res.Stats = sess.Solver.Stats.Sub(before)
+		return res
+	}
+
+	pass1 := runPass(rootCands)
+	pass1.Timings.CNF = sess.BuildTime
+
 	// Pass 2 candidates: all members of every region named in pass 1.
 	named := make(map[int]bool)
 	for _, sol := range pass1.Solutions {
@@ -246,56 +303,82 @@ func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*B
 		}
 	}
 	var fine []int
-	for g, r := range roots {
+	for g, r := range rootOf {
 		if named[r] && c.Gates[g].Kind != logic.Input {
 			fine = append(fine, g)
 		}
 	}
 	sort.Ints(fine)
 	if len(fine) == 0 {
-		return pass1, &BSATResult{SolutionSet: SolutionSet{Complete: pass1.Complete}}, nil
+		return pass1, &BSATResult{SolutionSet: SolutionSet{Complete: pass1.Complete}, sess: sess}, nil
 	}
-	fineOpts := opts
-	fineOpts.Candidates = fine
-	pass2, err := BSAT(c, tests, fineOpts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: FFR pass 2: %w", err)
-	}
+	pass2 := runPass(fine)
 	return pass1, pass2, nil
 }
 
 // PartitionedBSAT splits the test-set into partitions of the given size
-// and diagnoses each independently over much smaller SAT instances — the
-// test-set-splitting heuristic of Section 2.3. Every correction proposed
-// by any partition is then checked against the full test-set by exact
-// effect analysis, and kept only if it is valid and essential there.
+// and diagnoses each independently — the test-set-splitting heuristic of
+// Section 2.3. All partitions share one DiagSession built with per-test
+// guard literals: every copy is encoded once, and each partition round
+// activates only its own copies by assumptions, so no per-partition
+// instance is ever rebuilt. Every correction proposed by any partition
+// is then checked against the full test-set by exact effect analysis
+// (one incremental Validator), and kept only if it is valid and
+// essential there.
 //
 // The result is sound: every returned correction is a full-test-set BSAT
 // solution. It may under-approximate the full solution list, because a
 // correction essential for the whole test-set can be blocked inside a
 // partition where a strict subset already suffices; the ablation
 // benchmarks quantify this recall/size trade-off.
+//
+// Trade-off of the shared instance: a partition's models still assign
+// the (unconstrained) variables of the deactivated copies, so per-model
+// work scales with the total encoded copies rather than partitionSize —
+// the price paid for zero rebuild cost and learnt clauses shared across
+// partitions. Workloads dominated by very many tiny partitions over
+// huge circuits may prefer per-partition BSAT calls.
 func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize int, opts BSATOptions) (*SolutionSet, error) {
 	if partitionSize < 1 {
 		return nil, fmt.Errorf("core: partition size must be >= 1")
 	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: PartitionedBSAT requires K >= 1, got %d", opts.K)
+	}
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("core: PartitionedBSAT requires a non-empty test-set")
+	}
+	sessOpts := opts.diagOptions()
+	sessOpts.GuardTests = true
+	sess := cnf.NewSession(c, sessOpts)
+	sess.AddTests(tests)
+	if opts.Steer != nil {
+		opts.Steer(sess)
+	}
+
 	byKey := make(map[string]Correction)
-	parts := 0
 	complete := true
 	for lo := 0; lo < len(tests); lo += partitionSize {
 		hi := lo + partitionSize
 		if hi > len(tests) {
 			hi = len(tests)
 		}
-		res, err := BSAT(c, tests[lo:hi], opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: partition %d: %w", parts, err)
+		active := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			active = append(active, i)
 		}
-		complete = complete && res.Complete
-		for _, sol := range res.Solutions {
+		_, compl := sess.EnumerateRound(cnf.RoundOptions{
+			MaxK:         opts.K,
+			ActiveTests:  active,
+			MaxSolutions: opts.MaxSolutions,
+			MaxConflicts: opts.MaxConflicts,
+			Timeout:      opts.Timeout,
+		}, func(k int, gates []int) bool {
+			sol := NewCorrection(gates)
 			byKey[sol.Key()] = sol
-		}
-		parts++
+			return true
+		})
+		complete = complete && compl
 	}
 	out := &SolutionSet{Complete: complete}
 	keys := make([]string, 0, len(byKey))
@@ -303,10 +386,13 @@ func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize in
 		keys = append(keys, key)
 	}
 	sort.Strings(keys)
-	for _, key := range keys {
-		sol := byKey[key]
-		if Essential(c, tests, sol.Gates) {
-			out.Solutions = append(out.Solutions, sol)
+	if len(keys) > 0 {
+		v := NewValidator(c, tests)
+		for _, key := range keys {
+			sol := byKey[key]
+			if v.Essential(sol.Gates) {
+				out.Solutions = append(out.Solutions, sol)
+			}
 		}
 	}
 	return out, nil

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// CEGARResult is the outcome of CEGARDiagnose. The embedded BSATResult
+// carries the solution set (provably identical to monolithic BSAT), the
+// timings and the final — lazily grown — instance size; the extra
+// fields quantify the abstraction. Queries against the live session
+// see only the encoded copies: ExtractFunctions reconstructs Care
+// tables from Copies of the m tests, a subset of what the monolithic
+// result would yield.
+type CEGARResult struct {
+	BSATResult
+	// Copies is the number of test copies actually encoded; the
+	// monolithic instance always encodes len(tests).
+	Copies int
+	// Refinements counts counterexample tests added after seeding.
+	Refinements int
+	// Checked counts candidate corrections validated against the full
+	// test-set by the simulation oracle.
+	Checked int
+}
+
+// CEGARDiagnose is the counterexample-guided form of BasicSATDiagnose:
+// instead of encoding one constrained circuit copy per test up front
+// (the Θ(|I|·m) instance of Table 1), it seeds a cnf.DiagSession with
+// one test per distinct erroneous output and enumerates candidate
+// corrections on that abstraction. Each candidate is validated against
+// the full test-set by the incremental simulation oracle (Validator,
+// O(affected cone) per test rather than a SAT copy); a refuted candidate
+// contributes its refuting test as a new copy (AddTest) and enumeration
+// continues, while a confirmed candidate is recorded and blocked. The
+// loop is the paper's thesis made operational: the simulation engine and
+// the SAT engine answer the same validity question, so the cheap one can
+// serve as the oracle that lazily grows the expensive one.
+//
+// The returned solution set is identical to monolithic BSAT with the
+// same options (oracle-checked in the equivalence property suite):
+// the abstraction over-approximates — every genuine correction is a
+// model of every abstraction — and a candidate is only recorded once no
+// test refutes it, so enumeration per limit k terminates exactly when
+// the genuine size-≤k solutions are exhausted.
+//
+// Options mirror BSATOptions. Groups and Golden are rejected: their
+// validity semantics (shared select lines across frame instances;
+// all-output constraints) are not what the simulation oracle checks.
+func CEGARDiagnose(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*CEGARResult, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("core: CEGARDiagnose requires K >= 1, got %d", opts.K)
+	}
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("core: CEGARDiagnose requires a non-empty test-set")
+	}
+	if opts.Groups != nil {
+		return nil, fmt.Errorf("core: CEGARDiagnose does not support grouped select lines; use BSAT")
+	}
+	if opts.Golden != nil {
+		return nil, fmt.Errorf("core: CEGARDiagnose does not support golden all-output constraints; use BSAT")
+	}
+	if opts.K > maxValidateGates {
+		return nil, fmt.Errorf("core: CEGARDiagnose requires K <= %d (simulation oracle bound), got %d", maxValidateGates, opts.K)
+	}
+
+	// The oracle: per-test resident baselines, one effect analysis per
+	// candidate×test in O(affected cone).
+	oracle := NewValidator(c, tests)
+
+	sess := cnf.NewSession(c, opts.diagOptions())
+	res := &CEGARResult{BSATResult: BSATResult{sess: sess}}
+
+	// Seed the abstraction with one test per distinct erroneous output:
+	// the cheapest subset that still constrains every failing observable.
+	encoded := make([]bool, len(tests))
+	seenOut := make(map[int]bool)
+	for i, t := range tests {
+		if !seenOut[t.Output] {
+			seenOut[t.Output] = true
+			encoded[i] = true
+			sess.AddTest(t)
+		}
+	}
+	seeds := sess.NumTests()
+	if opts.Steer != nil {
+		opts.Steer(sess)
+	}
+
+	solver := sess.Solver
+	solver.SetBudget(opts.MaxConflicts, opts.Timeout)
+	round := sess.NewRound()
+	defer round.Retire()
+
+	// Timing discipline matches BSAT: CNF holds all encoding time (seed
+	// plus refinements), All holds pure enumeration wall time, so the
+	// Table 2 columns stay comparable across engines.
+	encodedTime := sess.BuildTime
+	start := time.Now()
+	res.Complete = true
+enumerate:
+	for k := 1; k <= opts.K; k++ {
+		for {
+			if opts.MaxSolutions > 0 && len(res.Solutions) >= opts.MaxSolutions {
+				res.Complete = false
+				break enumerate
+			}
+			assumps := append([]sat.Lit{round.Guard()}, sess.AtMost(k)...)
+			switch solver.Solve(assumps...) {
+			case sat.StatusUnknown:
+				res.Complete = false
+				break enumerate
+			case sat.StatusUnsat:
+				continue enumerate // next limit
+			}
+			gates := sess.ModelGates()
+			res.Checked++
+			if refuter := oracle.FirstRefuting(gates, encoded); refuter >= 0 {
+				// Spurious under the full test-set: grow the abstraction
+				// with the counterexample and re-enumerate. No blocking —
+				// a superset of a spurious set can still be genuine.
+				encoded[refuter] = true
+				sess.AddTest(tests[refuter])
+				res.Refinements++
+				continue
+			}
+			// Confirmed against every test: a genuine solution. Block it
+			// and its supersets for the rest of the round (Lemma 3).
+			if len(res.Solutions) == 0 {
+				res.Timings.One = time.Since(start) - (sess.BuildTime - encodedTime)
+			}
+			res.Solutions = append(res.Solutions, NewCorrection(gates))
+			round.BlockSubset(gates)
+		}
+	}
+	res.Timings.All = time.Since(start) - (sess.BuildTime - encodedTime)
+	res.Timings.CNF = sess.BuildTime
+	// Report the encoding's size, not the enumeration round's artifacts:
+	// the round contributes one guard variable and one guarded blocking
+	// clause per confirmed solution, which mono BSAT's Vars/Clauses
+	// (read before its round) never count. The clause figure is a close
+	// approximation — level-0 simplification during search may already
+	// have dropped a few satisfied clauses from the count.
+	res.Vars, res.Clauses = sess.Size()
+	res.Vars--
+	if res.Clauses -= len(res.Solutions); res.Clauses < 0 {
+		res.Clauses = 0
+	}
+	res.Stats = solver.Stats
+	res.Copies = sess.NumTests()
+	if res.Copies != seeds+res.Refinements {
+		panic("core: CEGAR copy accounting out of sync")
+	}
+	return res, nil
+}

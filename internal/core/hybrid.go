@@ -76,73 +76,113 @@ type RepairResult struct {
 // its gates are assumed selected one subset at a time (largest first)
 // while the solver is free to choose up to K total corrections, so the
 // initial guess is minimally amended into a valid correction.
+//
+// The repair runs on a cnf.DiagSession built lazily only when simulation
+// alone cannot settle the covering solutions. Callers that already hold
+// a live session over the same circuit and test-set (e.g. from a prior
+// BSAT or HybridBSAT run, via BSATResult.Session) can reuse it through
+// CovGuidedRepairSession and skip even that build.
 func CovGuidedRepair(c *circuit.Circuit, tests circuit.TestSet, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
+	return covGuidedRepair(c, tests, nil, covRes, opts)
+}
+
+// CovGuidedRepairSession is CovGuidedRepair reusing a live diagnosis
+// session instead of building one. tests is the full test-set the
+// repair must be valid for; sess must encode the same circuit over
+// these tests (all of them for a BSAT/HybridBSAT session, possibly a
+// converged subset for a CEGAR session) with an unrestricted candidate
+// set and a cardinality ladder wide enough for opts.K. Every reported
+// repair is validated against the full tests by the simulation oracle,
+// so partial sessions stay sound (they may just fail to repair). The
+// repair queries are assumption-only, so the session stays reusable.
+func CovGuidedRepairSession(sess *cnf.DiagSession, tests circuit.TestSet, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
+	if !sess.CanBound(opts.K) {
+		return nil, fmt.Errorf("core: reused session cannot bound corrections at K=%d (built with a smaller MaxK)", opts.K)
+	}
+	if len(sess.Candidates) < len(sess.Circuit.InternalGates()) {
+		return nil, fmt.Errorf("core: reused session has a restricted candidate set (%d of %d internal gates); repair needs an unrestricted one",
+			len(sess.Candidates), len(sess.Circuit.InternalGates()))
+	}
+	if !sameTests(sess.Tests, tests) && opts.K > maxValidateGates {
+		// A session whose copies are not exactly this test-set (e.g. a
+		// converged CEGAR abstraction) proves validity only for what it
+		// encodes, so every repair must fit the simulation oracle's bound
+		// to be checkable against the full test-set.
+		return nil, fmt.Errorf("core: repairing over a different test-set than the session encodes requires K <= %d (oracle bound), got %d", maxValidateGates, opts.K)
+	}
+	return covGuidedRepair(sess.Circuit, tests, sess, covRes, opts)
+}
+
+func covGuidedRepair(c *circuit.Circuit, tests circuit.TestSet, sess *cnf.DiagSession, covRes *CovResult, opts BSATOptions) (*RepairResult, error) {
 	start := time.Now()
 	out := &RepairResult{}
-	if len(covRes.Solutions) > 0 {
-		// One validator serves every candidate solution: the per-test
-		// baselines are built once and each effect analysis touches only
-		// the candidate gates' fanout cones.
-		v := NewValidator(c, tests)
-		for _, sol := range covRes.Solutions {
-			if v.Validate(sol.Gates) {
-				out.Correction = sol
-				out.CovSolution = sol
-				out.Found = true
-				out.Validated++
-				out.Elapsed = time.Since(start)
-				return out, nil
-			}
-		}
-	}
 	if len(covRes.Solutions) == 0 {
 		out.Elapsed = time.Since(start)
 		return out, nil
+	}
+	// One validator serves every candidate solution and the final repair
+	// check: the per-test baselines are built once and each effect
+	// analysis touches only the candidate gates' fanout cones.
+	v := NewValidator(c, tests)
+	for _, sol := range covRes.Solutions {
+		if v.Validate(sol.Gates) {
+			out.Correction = sol
+			out.CovSolution = sol
+			out.Found = true
+			out.Validated++
+			out.Elapsed = time.Since(start)
+			return out, nil
+		}
 	}
 
 	// No covering solution is valid as-is (the Lemma 2 situation): repair
 	// the first one with SAT.
 	seed := covRes.Solutions[0]
 	out.CovSolution = seed
-	inst := cnf.BuildDiag(c, tests, cnf.DiagOptions{
-		MaxK:      opts.K,
-		Encoding:  opts.Encoding,
-		ForceZero: opts.ForceZero,
-		ConeOnly:  opts.ConeOnly,
-	})
-	solver := inst.Solver
-	solver.MaxConflicts = opts.MaxConflicts
-	if opts.Timeout > 0 {
-		solver.Deadline = time.Now().Add(opts.Timeout)
+	if sess == nil {
+		sess = cnf.NewSession(c, cnf.DiagOptions{
+			MaxK:      opts.K,
+			Encoding:  opts.Encoding,
+			ForceZero: opts.ForceZero,
+			ConeOnly:  opts.ConeOnly,
+		})
+		sess.AddTests(tests)
 	}
+	solver := sess.Solver
+	solver.SetBudget(opts.MaxConflicts, opts.Timeout)
 	// Phase-steer toward the seed so free searches stay near it.
-	for j, g := range inst.Candidates {
+	for j, g := range sess.Candidates {
 		if seed.Contains(g) {
-			v := inst.Sels[j].Var()
+			v := sess.Sels[j].Var()
 			solver.BumpActivity(v, 10)
 			solver.SetPolarity(v, true)
 		}
 	}
+	active := sess.ActivationAssumps(nil) // bind every copy of guarded sessions
+	// A session encoding exactly this test-set yields SAT models that
+	// are valid by construction; any other session (e.g. a converged
+	// CEGAR abstraction) needs the oracle to confirm each repair, and
+	// repairs it cannot check are rejected (fail closed).
+	mustValidate := !sameTests(sess.Tests, tests)
 	subsets := subsetsLargestFirst(seed.Gates)
 	for _, keep := range subsets {
 		if len(keep) > opts.K {
 			continue
 		}
-		assumps := make([]sat.Lit, 0, len(keep)+1)
+		assumps := make([]sat.Lit, 0, len(keep)+len(active)+1)
 		for _, g := range keep {
-			l, ok := inst.SelLit(g)
+			l, ok := sess.SelLit(g)
 			if !ok {
 				continue
 			}
 			assumps = append(assumps, l)
 		}
-		assumps = append(assumps, inst.AtMost(opts.K)...)
+		assumps = append(assumps, active...)
+		assumps = append(assumps, sess.AtMost(opts.K)...)
 		if solver.Solve(assumps...) == sat.StatusSat {
-			var gates []int
-			for j, g := range inst.Candidates {
-				if solver.ValueLit(inst.Sels[j]) == sat.LTrue {
-					gates = append(gates, g)
-				}
+			gates := sess.ModelGates()
+			if mustValidate && (len(gates) > maxValidateGates || !v.Validate(gates)) {
+				continue
 			}
 			out.Correction = NewCorrection(gates)
 			out.Found = true
@@ -153,6 +193,25 @@ func CovGuidedRepair(c *circuit.Circuit, tests circuit.TestSet, covRes *CovResul
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil
+}
+
+// sameTests reports whether two test-sets contain identical triples in
+// the same order.
+func sameTests(a, b circuit.TestSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Output != b[i].Output || a[i].Want != b[i].Want || len(a[i].Vector) != len(b[i].Vector) {
+			return false
+		}
+		for j := range a[i].Vector {
+			if a[i].Vector[j] != b[i].Vector[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // subsetsLargestFirst yields all subsets of gates ordered by descending

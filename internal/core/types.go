@@ -18,8 +18,6 @@ import (
 	"sort"
 	"strings"
 	"time"
-
-	"repro/internal/sat"
 )
 
 // Correction is a set of candidate gates where changing the gate
@@ -121,15 +119,4 @@ func SameSolutions(a, b *SolutionSet) bool {
 		}
 	}
 	return true
-}
-
-// litsToGates maps select literals back to candidate gate IDs.
-func litsToGates(sels []sat.Lit, cands []int, trueLits []sat.Lit) []int {
-	// Select variables are allocated consecutively in candidate order.
-	base := sels[0].Var()
-	gates := make([]int, len(trueLits))
-	for i, l := range trueLits {
-		gates[i] = cands[int(l.Var()-base)]
-	}
-	return gates
 }

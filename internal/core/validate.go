@@ -77,64 +77,76 @@ func (v *Validator) Tests() circuit.TestSet { return v.tests }
 // validator's test-set — exactly ValidateSim's answer, computed
 // incrementally.
 func (v *Validator) Validate(gates []int) bool {
+	return v.FirstRefuting(gates, nil) < 0
+}
+
+// FirstRefuting returns the index of the first test the gate set cannot
+// rectify, or -1 when the set is a valid correction for every test.
+// Tests whose index is marked in skip (nil = none) are not checked —
+// the CEGAR driver passes the tests already encoded in its SAT
+// abstraction, which the candidate satisfies by construction.
+func (v *Validator) FirstRefuting(gates []int, skip []bool) int {
 	n := len(gates)
 	if n > maxValidateGates {
 		panic("core: Validate over more than 20 gates")
 	}
-	if n == 0 {
-		for _, ok := range v.baseOK {
-			if !ok {
-				return false
-			}
+	for i := range v.tests {
+		if skip != nil && skip[i] {
+			continue
 		}
-		return true
+		if !v.validTest(i, gates) {
+			return i
+		}
+	}
+	return -1
+}
+
+// validTest reports whether some assignment to the gates' outputs
+// produces the correct value at test i's erroneous output (Definition 3
+// for a single test), against the resident baseline.
+func (v *Validator) validTest(i int, gates []int) bool {
+	n := len(gates)
+	if n == 0 {
+		return v.baseOK[i]
+	}
+	t := v.tests[i]
+	// Structural screen: a gate set with no path to the failing
+	// output leaves it at its baseline value under every assignment.
+	reach := false
+	for _, g := range gates {
+		if v.an.Reaches(g, t.Output) {
+			reach = true
+			break
+		}
+	}
+	if !reach {
+		return v.baseOK[i]
 	}
 	total := 1 << uint(n)
 	forced := v.forced[:n]
-	for i, t := range v.tests {
-		// Structural screen: a gate set with no path to the failing
-		// output leaves it at its baseline value under every assignment.
-		reach := false
-		for _, g := range gates {
-			if v.an.Reaches(g, t.Output) {
-				reach = true
-				break
-			}
+	inc := v.incs[i]
+	for base := 0; base < total; base += 64 {
+		lanes := total - base
+		if lanes > 64 {
+			lanes = 64
 		}
-		if !reach {
-			if !v.baseOK[i] {
-				return false
-			}
-			continue
+		for j, g := range gates {
+			forced[j] = sim.Forced{Gate: g, Value: assignmentWord(base, j)}
 		}
-		inc := v.incs[i]
-		rectified := false
-		for base := 0; base < total && !rectified; base += 64 {
-			lanes := total - base
-			if lanes > 64 {
-				lanes = 64
-			}
-			for j, g := range gates {
-				forced[j] = sim.Forced{Gate: g, Value: assignmentWord(base, j)}
-			}
-			inc.ForceMany(forced)
-			out := inc.Value(t.Output)
-			inc.Undo()
-			if !t.Want {
-				out = ^out
-			}
-			if lanes < 64 {
-				out &= (1 << uint(lanes)) - 1
-			}
-			if out != 0 {
-				rectified = true
-			}
+		inc.ForceMany(forced)
+		out := inc.Value(t.Output)
+		inc.Undo()
+		if !t.Want {
+			out = ^out
 		}
-		if !rectified {
-			return false
+		if lanes < 64 {
+			out &= (1 << uint(lanes)) - 1
+		}
+		if out != 0 {
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 // Essential reports whether gates is valid and contains only essential

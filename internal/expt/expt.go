@@ -32,6 +32,41 @@ type Budget struct {
 	Timeout      time.Duration // wall-clock bound per BSAT enumeration
 }
 
+// Engine selects the SAT-diagnosis driver for the BSAT column.
+type Engine int
+
+// Engines: EngineMono is the paper's monolithic instance (one copy per
+// test up front); EngineCEGAR grows the instance lazily with the
+// simulation oracle refuting spurious candidates (identical solutions).
+const (
+	EngineMono Engine = iota
+	EngineCEGAR
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineMono:
+		return "mono"
+	case EngineCEGAR:
+		return "cegar"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine maps a flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "mono":
+		return EngineMono, nil
+	case "cegar":
+		return EngineCEGAR, nil
+	default:
+		return 0, fmt.Errorf("expt: unknown engine %q (want mono or cegar)", s)
+	}
+}
+
 // Config describes one experiment row group: a circuit, an error count
 // and the test-set sizes to sweep.
 type Config struct {
@@ -41,6 +76,7 @@ type Config struct {
 	Seed    int64  // injection/test-generation seed
 	Model   faults.Model
 	Budget  Budget
+	Engine  Engine // SAT driver for the BSAT column (default EngineMono)
 	// PaperScale generates the full-size circuit analog (only s38417x
 	// differs from the default suite; see DESIGN.md).
 	PaperScale bool
@@ -61,6 +97,10 @@ type Row struct {
 	SatTimings core.Timings
 	SatVars    int
 	SatClauses int
+	// SatCopies is the number of test copies the SAT engine encoded: M
+	// for the monolithic driver, the converged abstraction size for
+	// CEGAR.
+	SatCopies int
 
 	// Table 3 columns.
 	BSIMQ metrics.BSIMQuality
@@ -191,14 +231,28 @@ func RunRow(cfg Config, sc *Scenario, m int) (*Row, error) {
 	row.CovQ = metrics.MeasureSolutions(sc.Faulty, &covRes.SolutionSet, row.Sites)
 	row.CovHit = metrics.HitRate(&covRes.SolutionSet, row.Sites)
 
-	satRes, err := core.BSAT(sc.Faulty, tests, core.BSATOptions{
+	satOpts := core.BSATOptions{
 		K:            cfg.P,
 		MaxSolutions: cfg.Budget.MaxSolutions,
 		MaxConflicts: cfg.Budget.MaxConflicts,
 		Timeout:      cfg.Budget.Timeout,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("expt: BSAT on %s: %w", cfg.Circuit, err)
+	}
+	var satRes *core.BSATResult
+	switch cfg.Engine {
+	case EngineCEGAR:
+		cres, err := core.CEGARDiagnose(sc.Faulty, tests, satOpts)
+		if err != nil {
+			return nil, fmt.Errorf("expt: CEGAR on %s: %w", cfg.Circuit, err)
+		}
+		satRes = &cres.BSATResult
+		row.SatCopies = cres.Copies
+	default:
+		res, err := core.BSAT(sc.Faulty, tests, satOpts)
+		if err != nil {
+			return nil, fmt.Errorf("expt: BSAT on %s: %w", cfg.Circuit, err)
+		}
+		satRes = res
+		row.SatCopies = len(tests)
 	}
 	row.SatTimings = satRes.Timings
 	row.SatVars, row.SatClauses = satRes.Vars, satRes.Clauses
@@ -265,17 +319,20 @@ func Figure6Sweep(circuits []string, maxP int, ms []int, budget Budget) (avgPts,
 	return avgPts, numPts, nil
 }
 
-// RenderTable2 renders the runtime comparison in the layout of Table 2.
+// RenderTable2 renders the runtime comparison in the layout of Table 2,
+// extended with the number of test copies the SAT engine encoded
+// (m for the monolithic driver, the converged abstraction for CEGAR).
 func RenderTable2(w io.Writer, rows []*Row) {
-	fmt.Fprintf(w, "%-10s %2s %3s | %8s | %8s %8s %8s | %8s %8s %8s\n",
-		"I", "p", "m", "BSIM", "COV:CNF", "One", "All", "SAT:CNF", "One", "All")
-	fmt.Fprintln(w, strings.Repeat("-", 96))
+	fmt.Fprintf(w, "%-10s %2s %3s | %8s | %8s %8s %8s | %8s %8s %8s %6s\n",
+		"I", "p", "m", "BSIM", "COV:CNF", "One", "All", "SAT:CNF", "One", "All", "copies")
+	fmt.Fprintln(w, strings.Repeat("-", 103))
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-10s %2d %3d | %8s | %8s %8s %8s | %8s %8s %8s\n",
+		fmt.Fprintf(w, "%-10s %2d %3d | %8s | %8s %8s %8s | %8s %8s %8s %6d\n",
 			r.Circuit, r.P, r.M,
 			fmtDur(r.BSIMTime),
 			fmtDur(r.CovTimings.CNF), fmtDur(r.CovTimings.One), fmtDur(r.CovTimings.All),
-			fmtDur(r.SatTimings.CNF), fmtDur(r.SatTimings.One), fmtDur(r.SatTimings.All))
+			fmtDur(r.SatTimings.CNF), fmtDur(r.SatTimings.One), fmtDur(r.SatTimings.All),
+			r.SatCopies)
 	}
 }
 

@@ -13,6 +13,13 @@ type EnumOptions struct {
 	// default suits minimal-correction enumeration; ExactBlocking suits
 	// enumerating distinct assignments (e.g. distinguishing test vectors).
 	ExactBlocking bool
+	// BlockExtra literals are appended to every blocking clause. A
+	// long-lived session passes the negation of a round-guard literal
+	// here (and the guard itself in Assumptions): during the round the
+	// guard is assumed true so blocking behaves as usual, and asserting
+	// the guard false afterwards retracts every blocking clause of the
+	// round at once, leaving the solver clean for the next query.
+	BlockExtra []Lit
 }
 
 // EnumerateProjected enumerates the models of the current database
@@ -54,7 +61,7 @@ func (s *Solver) EnumerateProjected(proj []Lit, opts EnumOptions, fn func(trueLi
 		}
 		var block []Lit
 		if opts.ExactBlocking {
-			block = make([]Lit, 0, len(proj))
+			block = make([]Lit, 0, len(proj)+len(opts.BlockExtra))
 			for _, l := range proj {
 				switch s.ValueLit(l) {
 				case LTrue:
@@ -64,11 +71,12 @@ func (s *Solver) EnumerateProjected(proj []Lit, opts EnumOptions, fn func(trueLi
 				}
 			}
 		} else {
-			block = make([]Lit, len(buf))
+			block = make([]Lit, len(buf), len(buf)+len(opts.BlockExtra))
 			for i, l := range buf {
 				block[i] = l.Neg()
 			}
 		}
+		block = append(block, opts.BlockExtra...)
 		if !s.AddClause(block...) {
 			// Blocking the empty projection (or a level-0 contradiction)
 			// empties the solution space.

@@ -137,6 +137,20 @@ func (s *Solver) BumpActivity(v Var, amount float64) {
 	s.bumpVarBy(v, amount*s.varInc)
 }
 
+// SetBudget gives subsequent Solve calls a fresh budget: maxConflicts
+// conflicts per Solve (0 = unlimited) and a wall-clock deadline of
+// timeout from now (0 = none). Long-lived sessions call this at the
+// start of every enumeration round so a stale deadline or conflict cap
+// left over from an earlier round cannot poison later ones.
+func (s *Solver) SetBudget(maxConflicts int64, timeout time.Duration) {
+	s.MaxConflicts = maxConflicts
+	if timeout > 0 {
+		s.Deadline = time.Now().Add(timeout)
+	} else {
+		s.Deadline = time.Time{}
+	}
+}
+
 // AddClause adds a clause over the given literals. It reports false if
 // the database has become trivially unsatisfiable. The solver must be
 // between Solve calls (decision level 0).
@@ -575,6 +589,12 @@ outer:
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return StatusUnsat
+	}
+	if !s.Deadline.IsZero() && !time.Now().Before(s.Deadline) {
+		// An already-expired deadline fails fast instead of burning a
+		// restart's worth of conflicts first (and lets callers detect a
+		// stale budget deterministically).
+		return StatusUnknown
 	}
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.conflictSet = s.conflictSet[:0]

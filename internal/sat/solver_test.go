@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEmptySolverIsSat(t *testing.T) {
@@ -560,5 +561,76 @@ func TestLitHelpers(t *testing.T) {
 	}
 	if p.String() != "6" || n.String() != "-6" {
 		t.Fatalf("String: %s %s", p, n)
+	}
+}
+
+// TestSetBudgetResetsStaleDeadline: a deadline left over from an earlier
+// enumeration round must fail fast, and SetBudget must clear it so the
+// next round gets a fresh budget (the long-lived-session discipline).
+func TestSetBudgetResetsStaleDeadline(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	s.SetBudget(0, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if got := s.Solve(); got != StatusUnknown {
+		t.Fatalf("expired deadline: got %v, want UNKNOWN", got)
+	}
+	s.SetBudget(0, 0)
+	if !s.Deadline.IsZero() {
+		t.Fatal("SetBudget(0, 0) did not clear the deadline")
+	}
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("after budget reset: got %v, want SAT", got)
+	}
+	s.SetBudget(7, time.Hour)
+	if s.MaxConflicts != 7 || s.Deadline.IsZero() {
+		t.Fatal("SetBudget did not install the new budget")
+	}
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("with generous budget: got %v, want SAT", got)
+	}
+}
+
+// TestEnumerateBlockExtraRetractsRounds: blocking clauses carrying a
+// round-guard literal must stop constraining once the guard is asserted
+// false, so a second round over the same projection sees the full
+// solution space again.
+func TestEnumerateBlockExtraRetractsRounds(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	proj := []Lit{PosLit(a), PosLit(b), PosLit(c)}
+	s.AddClause(proj...) // at least one true
+
+	countRound := func() int {
+		guard := PosLit(s.NewVar())
+		n, complete := s.EnumerateProjected(proj, EnumOptions{
+			Assumptions: []Lit{guard},
+			BlockExtra:  []Lit{guard.Neg()},
+		}, nil)
+		if !complete {
+			t.Fatal("round incomplete")
+		}
+		s.AddClause(guard.Neg()) // retire the round
+		return n
+	}
+	first := countRound()
+	if first != 3 {
+		// Subset blocking over {a,b,c} with "at least one true" yields
+		// exactly the three singletons.
+		t.Fatalf("round 1: got %d solutions, want 3", first)
+	}
+	if second := countRound(); second != first {
+		t.Fatalf("round 2 after retraction: got %d solutions, want %d", second, first)
+	}
+	// An unretracted round keeps blocking: a third round sharing round
+	// 2's guard literal would see nothing — emulate by reusing blocking
+	// without a guard.
+	n, complete := s.EnumerateProjected(proj, EnumOptions{}, nil)
+	if !complete || n != 3 {
+		t.Fatalf("unguarded round: got %d (complete=%v), want 3", n, complete)
+	}
+	if n, _ = s.EnumerateProjected(proj, EnumOptions{}, nil); n != 0 {
+		t.Fatalf("permanent blocking should persist: got %d solutions, want 0", n)
 	}
 }
