@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		k           = flag.Int("k", 0, "correction size limit (default: number of injected errors)")
 		method      = flag.String("method", "all", "bsim, cov, bsat, hybrid, or all")
 		engine      = flag.String("engine", "mono", "SAT engine: mono (one copy per test) or cegar (lazy abstraction, identical solutions)")
+		shards      = flag.Int("shards", 1, "parallel enumeration shards for the SAT engines (complete runs return identical solutions for any count)")
 		maxSol      = flag.Int("max-solutions", 5000, "solution cap per engine (0 = unlimited)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "BSAT enumeration timeout (0 = unlimited)")
 		verbose     = flag.Bool("v", false, "print individual solutions")
@@ -46,14 +48,14 @@ func main() {
 		return
 	}
 	if err := run(*circuitName, *goldenPath, *faultyPath, *inject, *seed, *model,
-		*numTests, *k, *method, *engine, *maxSol, *timeout, *verbose); err != nil {
+		*numTests, *k, *method, *engine, *shards, *maxSol, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
 		os.Exit(1)
 	}
 }
 
 func run(circuitName, goldenPath, faultyPath string, inject int, seed int64, model string,
-	numTests, k int, method, engine string, maxSol int, timeout time.Duration, verbose bool) error {
+	numTests, k int, method, engine string, shards, maxSol int, timeout time.Duration, verbose bool) error {
 
 	var (
 		golden, faulty *diagnosis.Circuit
@@ -142,31 +144,41 @@ func run(circuitName, goldenPath, faultyPath string, inject int, seed int64, mod
 		printSolutions(faulty, res.Solutions, sites, verbose)
 	}
 	if do("bsat") || do("hybrid") {
-		opts := diagnosis.BSATOptions{K: k, MaxSolutions: maxSol, Timeout: timeout}
-		var res *diagnosis.BSATResult
+		// SAT-family methods run through the unified engine registry.
+		req := diagnosis.Request{
+			Circuit:      faulty,
+			Tests:        tests,
+			K:            k,
+			Shards:       shards,
+			MaxSolutions: maxSol,
+			Timeout:      timeout,
+		}
 		switch {
 		case engine == "cegar":
-			var cres *diagnosis.CEGARResult
-			cres, err = diagnosis.DiagnoseCEGAR(faulty, tests, opts)
-			if err == nil {
-				res = &cres.BSATResult
-				fmt.Printf("\n[BSAT] cegar: %d/%d test copies encoded (%d refinements, %d candidates checked)\n",
-					cres.Copies, len(tests), cres.Refinements, cres.Checked)
-			}
+			req.Engine = "cegar"
 		case do("hybrid") && want != "all":
-			res, _, err = diagnosis.DiagnoseHybrid(faulty, tests, opts, diagnosis.PTOptions{})
+			req.Engine = "hybrid"
 		default:
-			res, err = diagnosis.DiagnoseBSAT(faulty, tests, opts)
+			req.Engine = "bsat"
 		}
+		rep, err := diagnosis.Diagnose(context.Background(), req)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n[BSAT] cnf %v (%d vars, %d clauses), one %v, all %v: %d valid corrections (complete=%v)\n",
-			res.Timings.CNF, res.Vars, res.Clauses, res.Timings.One, res.Timings.All,
-			len(res.Solutions), res.Complete)
+		if req.Engine == "cegar" {
+			fmt.Printf("\n[BSAT] cegar: %d/%d test copies encoded (%d refinements, %d candidates checked)\n",
+				rep.Copies, len(tests), rep.Refinements, rep.Checked)
+		}
+		fmt.Printf("\n[BSAT] %s: cnf %v (%d vars, %d clauses), one %v, all %v: %d valid corrections (complete=%v)\n",
+			rep.Engine, rep.Timings.CNF, rep.Vars, rep.Clauses, rep.Timings.One, rep.Timings.All,
+			len(rep.Solutions), rep.Complete)
 		fmt.Printf("[BSAT] solver: %d decisions, %d conflicts, %d propagations\n",
-			res.Stats.Decisions, res.Stats.Conflicts, res.Stats.Propagations)
-		printSolutions(faulty, res.Solutions, sites, verbose)
+			rep.Stats.Decisions, rep.Stats.Conflicts, rep.Stats.Propagations)
+		for _, st := range rep.PerShard {
+			fmt.Printf("[BSAT]   shard %d: %d solutions in %v (complete=%v, %d conflicts)\n",
+				st.Shard, st.Solutions, st.Elapsed, st.Complete, st.Stats.Conflicts)
+		}
+		printSolutions(faulty, rep.Solutions, sites, verbose)
 	}
 	return nil
 }

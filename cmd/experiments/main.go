@@ -30,10 +30,11 @@ func main() {
 		fig6    = flag.Bool("fig6", false, "regenerate the Figure 6 scatters")
 		all     = flag.Bool("all", false, "regenerate everything")
 		outDir  = flag.String("out", "", "directory for text/CSV artifacts (default: stdout only)")
-		scale   = flag.String("scale", "default", "workload scale: quick, default, paper")
+		scale   = flag.String("scale", "default", "workload scale: smoke, quick, default, paper")
 		maxSol  = flag.Int("max-solutions", 5000, "solution cap per enumeration (0 = unlimited)")
 		timeout = flag.Duration("timeout", 3*time.Minute, "per-enumeration timeout (0 = unlimited)")
 		engName = flag.String("engine", "mono", "SAT engine for the BSAT column: mono (one copy per test) or cegar (lazy abstraction)")
+		shards  = flag.Int("shards", 1, "parallel enumeration shards for the SAT column (complete runs return identical solutions for any count)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*fig6 {
@@ -46,13 +47,13 @@ func main() {
 		os.Exit(2)
 	}
 	budget := expt.Budget{MaxSolutions: *maxSol, Timeout: *timeout}
-	if err := run(*table, *fig6, *all, *outDir, *scale, budget, engine); err != nil {
+	if err := run(*table, *fig6, *all, *outDir, *scale, budget, engine, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget, engine expt.Engine) error {
+func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget, engine expt.Engine, shards int) error {
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -73,7 +74,7 @@ func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget, en
 	}
 
 	if all || table != 0 {
-		rows, err := tableRows(scale, budget, engine)
+		rows, err := tableRows(scale, budget, engine, shards)
 		if err != nil {
 			return err
 		}
@@ -112,12 +113,16 @@ func run(table int, fig6, all bool, outDir, scale string, budget expt.Budget, en
 	return nil
 }
 
-func tableRows(scale string, budget expt.Budget, engine expt.Engine) ([]*expt.Row, error) {
+func tableRows(scale string, budget expt.Budget, engine expt.Engine, shards int) ([]*expt.Row, error) {
 	configs := expt.Table2Configs(budget)
 	for i := range configs {
 		configs[i].Engine = engine
+		configs[i].Shards = shards
 	}
 	switch scale {
+	case "smoke":
+		// CI/test-sized workload: the smallest suite circuit only.
+		configs = []expt.Config{{Circuit: "s298x", P: 1, Seed: 1, Ms: []int{4}, Budget: budget, Engine: engine, Shards: shards}}
 	case "quick":
 		for i := range configs {
 			configs[i].Ms = []int{4, 8}
@@ -146,6 +151,8 @@ func tableRows(scale string, budget expt.Budget, engine expt.Engine) ([]*expt.Ro
 
 func fig6Sweep(scale string) (circuits []string, maxP int, ms []int) {
 	switch scale {
+	case "smoke":
+		return []string{"s298x"}, 1, []int{4}
 	case "quick":
 		return []string{"s298x", "s400x"}, 2, []int{4, 8}
 	case "paper":

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/expt"
+)
+
+// TestRunSmoke drives the experiments CLI body end to end at the
+// smoke scale — Table 2 and 3 rendering with artifact emission — for
+// both SAT engines, monolithic and sharded.
+func TestRunSmoke(t *testing.T) {
+	budget := expt.Budget{MaxSolutions: 200, Timeout: time.Minute}
+	for _, tc := range []struct {
+		name   string
+		engine expt.Engine
+		shards int
+	}{
+		{"mono", expt.EngineMono, 1},
+		{"mono-sharded", expt.EngineMono, 2},
+		{"cegar", expt.EngineCEGAR, 1},
+		{"cegar-sharded", expt.EngineCEGAR, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := t.TempDir()
+			if err := run(2, false, false, out, "smoke", budget, tc.engine, tc.shards); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(filepath.Join(out, "table2.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatal("empty table2.txt artifact")
+			}
+		})
+	}
+}
+
+// TestRunRejectsUnknownScale: scale validation happens inside run.
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run(2, false, false, "", "warp", expt.Budget{}, expt.EngineMono, 1); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

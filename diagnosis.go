@@ -31,6 +31,7 @@
 package diagnosis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -132,6 +133,43 @@ const (
 	Totalizer  = cnf.Totalizer
 	Pairwise   = cnf.Pairwise
 )
+
+// Unified engine layer: every diagnosis procedure behind one request/
+// response pair (see internal/core's engine registry).
+type (
+	// Request is the unified diagnosis request: engine name, circuit,
+	// tests, correction-size ladder, shard count and budgets.
+	Request = core.Request
+	// Report is the unified diagnosis response: the canonical solution
+	// set plus timings, instance sizes, solver statistics and per-shard
+	// breakdowns.
+	Report = core.Report
+	// ShardStats is one stage of a sharded run in Report.PerShard: the
+	// sequential sample stage (Shard == -1) or one parallel worker.
+	ShardStats = cnf.ShardStats
+)
+
+// Diagnose runs the requested diagnosis engine — "bsim", "cov", "bsat",
+// "cegar" or "hybrid" (default "bsat") — and returns its unified
+// report. All engines share the request/response shape, cooperative
+// cancellation through ctx, and, for the SAT engines, sharded parallel
+// enumeration through Request.Shards: with Shards > 1 the candidate
+// select-literals are partitioned into disjoint shards enumerated
+// concurrently on cloned solver backends, and for complete runs the
+// canonically merged result is identical to the monolithic run — the
+// same solutions in the same order for any shard count. A budget or
+// solution cap truncates sharded and monolithic runs to different
+// (both incomplete) prefixes.
+//
+// The per-procedure entry points (DiagnoseBSIM, DiagnoseCOV,
+// DiagnoseBSAT, DiagnoseCEGAR, DiagnoseHybrid) remain for callers that
+// want the engine-specific result types.
+func Diagnose(ctx context.Context, req Request) (*Report, error) {
+	return core.Diagnose(ctx, req)
+}
+
+// Engines lists the registered diagnosis engines, sorted by name.
+func Engines() []string { return core.EngineNames() }
 
 // NewBuilder starts a programmatic circuit description.
 func NewBuilder(name string) *Builder { return circuit.NewBuilder(name) }

@@ -5,6 +5,7 @@ package diagnosis_test
 // derive failing tests, diagnose with all three engines, cross-check.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -196,5 +197,63 @@ func TestEssentialPublic(t *testing.T) {
 		if !diagnosis.Essential(faulty, tests, sol.Gates) {
 			t.Fatalf("non-essential solution %v", sol)
 		}
+	}
+}
+
+// TestUnifiedDiagnosePublic exercises the engine registry through the
+// public facade: every engine answers the same request shape, the SAT
+// engines agree with each other for any shard count, and cancellation
+// surfaces as an incomplete report.
+func TestUnifiedDiagnosePublic(t *testing.T) {
+	_, faulty, _, tests := pipeline(t, "s298x", 2, 8, 1)
+	names := diagnosis.Engines()
+	if len(names) < 5 {
+		t.Fatalf("expected at least the five built-in engines, got %v", names)
+	}
+
+	var base *diagnosis.Report
+	for _, shards := range []int{1, 2, 4} {
+		rep, err := diagnosis.Diagnose(context.Background(), diagnosis.Request{
+			Engine: "bsat", Circuit: faulty, Tests: tests, K: 2, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Complete || !rep.Guaranteed {
+			t.Fatalf("shards=%d: complete=%v guaranteed=%v", shards, rep.Complete, rep.Guaranteed)
+		}
+		if base == nil {
+			base = rep
+			continue
+		}
+		if len(rep.Solutions) != len(base.Solutions) {
+			t.Fatalf("shards=%d: %d solutions, want %d", shards, len(rep.Solutions), len(base.Solutions))
+		}
+		for i := range rep.Solutions {
+			if rep.Solutions[i].Key() != base.Solutions[i].Key() {
+				t.Fatalf("shards=%d: solution %d = %v, want %v (canonical order violated)",
+					shards, i, rep.Solutions[i], base.Solutions[i])
+			}
+		}
+	}
+
+	cegar, err := diagnosis.Diagnose(context.Background(), diagnosis.Request{
+		Engine: "cegar", Circuit: faulty, Tests: tests, K: 2, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cegar.Solutions) != len(base.Solutions) {
+		t.Fatalf("cegar: %d solutions, bsat %d", len(cegar.Solutions), len(base.Solutions))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := diagnosis.Diagnose(ctx, diagnosis.Request{Circuit: faulty, Tests: tests, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatal("cancelled diagnosis reported complete")
 	}
 }

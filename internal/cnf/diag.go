@@ -58,6 +58,12 @@ type DiagOptions struct {
 	// folded at level 0, so monolithic single-shot instances should
 	// leave this off.
 	GuardTests bool
+
+	// Backend, when non-nil, supplies the SAT backend the session encodes
+	// into instead of the built-in CDCL solver (sat.New). The encoders
+	// only require the sat.Builder surface, so any sat.Backend
+	// implementation slots in here.
+	Backend sat.Backend
 }
 
 // Instance is a built diagnosis SAT instance. It is the same object as

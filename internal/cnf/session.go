@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -29,7 +30,10 @@ import (
 // in one call); Instance is an alias of DiagSession, so the two views
 // are the same object. A DiagSession is not safe for concurrent use.
 type DiagSession struct {
-	Solver  *sat.Solver
+	// Solver is the SAT backend behind the session. It is the built-in
+	// CDCL solver by default; DiagOptions.Backend swaps in another
+	// implementation, and Fork clones it per enumeration shard.
+	Solver  sat.Backend
 	Circuit *circuit.Circuit
 	// Tests lists the encoded test copies in AddTest order.
 	Tests circuit.TestSet
@@ -64,7 +68,10 @@ type DiagSession struct {
 // candidate set and MaxK), test copies are appended later with AddTest.
 func NewSession(c *circuit.Circuit, opts DiagOptions) *DiagSession {
 	start := time.Now()
-	s := sat.New()
+	var s sat.Backend = opts.Backend
+	if s == nil {
+		s = sat.New()
+	}
 
 	// Normalize the selection units to groups with labels.
 	groups := opts.Groups
@@ -368,6 +375,16 @@ func (r *Round) Retire() {
 type RoundOptions struct {
 	// MaxK runs the Figure 3 limit loop for k = 1..MaxK (minimum 1).
 	MaxK int
+	// Ctx, when non-nil, cancels the round cooperatively: cancellation
+	// surfaces as an incomplete round, promptly even mid-search.
+	Ctx context.Context
+	// ExtraAssumps are appended to every Solve of the round. Sharded
+	// enumeration passes the shard's cube and the sample round's guard
+	// here — the assumption-scoped slice restriction.
+	ExtraAssumps []sat.Lit
+	// SampleCap bounds the sequential sample stage of EnumerateSharded
+	// (0 = the default of 64 solutions). Ignored by EnumerateRound.
+	SampleCap int
 	// Restrict confines corrections to these candidate labels via
 	// assumptions (nil = all session candidates).
 	Restrict []int
@@ -393,6 +410,17 @@ type RoundOptions struct {
 //
 // complete is true iff every limit's solution space was exhausted.
 func (sess *DiagSession) EnumerateRound(opts RoundOptions, fn func(k int, gates []int) bool) (n int, complete bool) {
+	r := sess.NewRound()
+	defer r.Retire()
+	return sess.enumerateInRound(r, opts, fn)
+}
+
+// enumerateInRound is EnumerateRound running inside a caller-managed
+// round: the round is neither created nor retired here, so its guarded
+// blocking clauses survive the call. Sharded enumeration relies on this
+// for the sample stage — clones forked afterwards inherit the blocking
+// and enumerate exactly the residual space while the guard is assumed.
+func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k int, gates []int) bool) (n int, complete bool) {
 	maxK := opts.MaxK
 	if maxK < 1 {
 		maxK = 1
@@ -400,11 +428,10 @@ func (sess *DiagSession) EnumerateRound(opts RoundOptions, fn func(k int, gates 
 	if !sess.CanBound(maxK) {
 		panic("cnf: EnumerateRound limit exceeds the session's ladder width (rebuild with a larger MaxK)")
 	}
-	r := sess.NewRound()
-	defer r.Retire()
 	sess.Solver.SetBudget(opts.MaxConflicts, opts.Timeout)
 
 	base := []sat.Lit{r.Guard()}
+	base = append(base, opts.ExtraAssumps...)
 	if opts.Restrict != nil {
 		base = append(base, sess.RestrictAssumps(opts.Restrict)...)
 	}
@@ -422,6 +449,7 @@ func (sess *DiagSession) EnumerateRound(opts RoundOptions, fn func(k int, gates 
 		assumps := append(append([]sat.Lit(nil), base...), sess.AtMost(k)...)
 		cnt, compl := sess.Solver.EnumerateProjected(sess.Sels, sat.EnumOptions{
 			Assumptions:  assumps,
+			Ctx:          opts.Ctx,
 			MaxSolutions: remaining,
 			BlockExtra:   []sat.Lit{r.Guard().Neg()},
 		}, func(trueLits []sat.Lit) bool {

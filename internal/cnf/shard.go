@@ -1,0 +1,570 @@
+package cnf
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// Cube is one assumption-scoped slice of the solution space: the
+// assumptions confine enumeration to the corrections satisfying them,
+// and Weight estimates the slice's load (sampled solutions inside it)
+// for scheduling. A nil Assumps cube is unconstrained.
+type Cube struct {
+	Assumps []sat.Lit
+	Weight  int
+}
+
+// Shard is one worker of a forked enumeration: an independent session
+// over a cloned backend plus the assumption cubes it serves
+// sequentially. The cubes of one fork partition the projected solution
+// space — every correction satisfies exactly one cube — so the workers
+// never repeat a solution, and the canonical merge of their outputs
+// equals the monolithic enumeration.
+//
+// Slices are scoped purely by assumptions, never by asserted clauses:
+// the forked backend stays an unconstrained copy of the parent
+// encoding, assumptions propagate from decision level 0 (no auxiliary
+// encoding taxing every solve), and one clone serves any number of
+// cubes in turn.
+type Shard struct {
+	// Session is the forked session: cloned backend plus copied per-copy
+	// tables, so AddTest and enumeration on the shard never touch the
+	// parent (or the sibling shards).
+	Session *DiagSession
+	// Index and Of identify the worker within its fork.
+	Index, Of int
+	// Cubes lists the assumption cubes this worker enumerates, in order.
+	Cubes []Cube
+}
+
+// PlanCubes derives disjoint assumption cubes that together cover the
+// whole solution space, at most n of them. With a sample of
+// already-known solutions (each a sorted candidate-label set) the
+// planner builds a balanced binary decision tree: it repeatedly splits
+// the leaf holding the most sampled solutions on the candidate whose
+// membership frequency inside that leaf is closest to one half — the
+// pivot that best halves the leaf's expected load. Without a sample it
+// falls back to a deterministic staircase over the lowest candidate
+// positions. Fewer than n cubes are returned when no splittable pivot
+// remains.
+func (sess *DiagSession) PlanCubes(sample [][]int, n int) []Cube {
+	if n > len(sess.Sels) {
+		n = len(sess.Sels)
+	}
+	if n < 2 {
+		return []Cube{{Weight: len(sample)}}
+	}
+	// Sample solutions carry candidate LABELS (group labels for grouped
+	// sessions), which are not selIndex keys; map them to select
+	// positions explicitly.
+	labelPos := make(map[int]int, len(sess.Candidates))
+	for j, lbl := range sess.Candidates {
+		labelPos[lbl] = j
+	}
+	type leaf struct {
+		cube  []sat.Lit
+		sols  [][]int
+		fixed map[int]bool // candidate labels already pivoted on this path
+	}
+	leaves := []leaf{{nil, sample, map[int]bool{}}}
+	for len(leaves) < n {
+		// Split the heaviest leaf that still has a usable pivot: a
+		// candidate present in some but not all of its solutions.
+		best, bestPivot, bestScore := -1, -1, 1<<30
+		for i := range leaves {
+			l := &leaves[i]
+			if len(l.sols) < 2 {
+				continue
+			}
+			freq := make(map[int]int)
+			for _, s := range l.sols {
+				for _, g := range s {
+					freq[g]++
+				}
+			}
+			pivots := make([]int, 0, len(freq))
+			for g := range freq {
+				pivots = append(pivots, g)
+			}
+			sort.Ints(pivots) // deterministic tie-breaking
+			for _, g := range pivots {
+				c := freq[g]
+				if _, known := labelPos[g]; !known {
+					continue
+				}
+				if l.fixed[g] || c == 0 || c == len(l.sols) {
+					continue
+				}
+				d := len(l.sols) - 2*c
+				if d < 0 {
+					d = -d
+				}
+				// Prefer the heaviest leaf; within it, the most balanced
+				// pivot.
+				score := d - len(l.sols)*4
+				if score < bestScore {
+					best, bestPivot, bestScore = i, g, score
+				}
+			}
+		}
+		if best < 0 {
+			break // no leaf can be split further on sample evidence
+		}
+		l := leaves[best]
+		lit := sess.Sels[labelPos[bestPivot]]
+		var in, out [][]int
+		for _, s := range l.sols {
+			if containsSorted(s, bestPivot) {
+				in = append(in, s)
+			} else {
+				out = append(out, s)
+			}
+		}
+		fixed := make(map[int]bool, len(l.fixed)+1)
+		for g := range l.fixed {
+			fixed[g] = true
+		}
+		fixed[bestPivot] = true
+		leaves[best] = leaf{append(append([]sat.Lit(nil), l.cube...), lit), in, fixed}
+		leaves = append(leaves, leaf{append(append([]sat.Lit(nil), l.cube...), lit.Neg()), out, fixed})
+	}
+	if len(leaves) == 1 {
+		// No sample signal at all: deterministic staircase over the
+		// lowest candidate positions. Cube i selects pivot i with all
+		// earlier pivots off; the last cube has every pivot off.
+		cubes := make([]Cube, n)
+		for i := 0; i < n; i++ {
+			var cube []sat.Lit
+			for j := 0; j < i; j++ {
+				cube = append(cube, sess.Sels[j].Neg())
+			}
+			if i < n-1 {
+				cube = append(cube, sess.Sels[i])
+			}
+			cubes[i] = Cube{Assumps: cube}
+		}
+		return cubes
+	}
+	cubes := make([]Cube, len(leaves))
+	for i, l := range leaves {
+		cubes[i] = Cube{Assumps: l.cube, Weight: len(l.sols)}
+	}
+	return cubes
+}
+
+func containsSorted(s []int, g int) bool {
+	i := sort.SearchInts(s, g)
+	return i < len(s) && s[i] == g
+}
+
+// ScheduleCubes distributes cubes onto n workers by longest-processing-
+// time-first over the sampled weights: cubes sorted by descending
+// weight (ties by planning order) each go to the least-loaded worker.
+// Deterministic; returns at most n non-empty worker loads.
+func ScheduleCubes(cubes []Cube, n int) [][]Cube {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(cubes) {
+		n = len(cubes)
+	}
+	order := make([]int, len(cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cubes[order[a]].Weight > cubes[order[b]].Weight })
+	workers := make([][]Cube, n)
+	loads := make([]int, n)
+	for _, ci := range order {
+		best := 0
+		for w := 1; w < n; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		workers[best] = append(workers[best], cubes[ci])
+		loads[best] += cubes[ci].Weight + 1 // +1 so zero-weight cubes spread too
+	}
+	return workers
+}
+
+// ForkWorkers clones the session once per worker load (keepLearnts
+// forwards to sat.Backend.Clone) and couples each clone with its cubes.
+// The parent session stays untouched and fully usable.
+func (sess *DiagSession) ForkWorkers(workers [][]Cube, keepLearnts bool) []*Shard {
+	shards := make([]*Shard, len(workers))
+	for i, cubes := range workers {
+		forked := &DiagSession{
+			Solver:     sess.Solver.Clone(keepLearnts),
+			Circuit:    sess.Circuit,
+			Tests:      append(circuit.TestSet(nil), sess.Tests...),
+			Candidates: sess.Candidates,
+			Sels:       sess.Sels,
+			Ladder:     sess.Ladder,
+			GateVars:   append([][]sat.Var(nil), sess.GateVars...),
+			CorrVars:   append([][]sat.Var(nil), sess.CorrVars...),
+			TestGuards: append([]sat.Lit(nil), sess.TestGuards...),
+			selIndex:   sess.selIndex,
+			opts:       sess.opts,
+		}
+		if sess.opts.Golden != nil {
+			// The golden simulator is stateful; every fork that may AddTest
+			// needs its own.
+			forked.golden = sim.New(sess.opts.Golden)
+		}
+		shards[i] = &Shard{Session: forked, Index: i, Of: len(workers), Cubes: cubes}
+	}
+	return shards
+}
+
+// Fork splits the session's solution space into up to n disjoint
+// assumption-scoped shards, each on a Clone of the backend, one cube
+// per shard. Without sample information the cubes come from the
+// deterministic staircase plan; callers that already hold known
+// solutions (a sample round) should PlanCubes from them and
+// ForkWorkers over a ScheduleCubes assignment for balanced loads.
+func (sess *DiagSession) Fork(n int, keepLearnts bool) []*Shard {
+	cubes := sess.PlanCubes(nil, n)
+	workers := make([][]Cube, len(cubes))
+	for i, c := range cubes {
+		workers[i] = []Cube{c}
+	}
+	return sess.ForkWorkers(workers, keepLearnts)
+}
+
+// ShardStats records one stage's contribution to a sharded enumeration:
+// the sequential sample stage (Shard == -1) or one parallel worker.
+type ShardStats struct {
+	Shard     int // -1 for the sample stage
+	Cubes     int // assumption cubes served by this stage
+	Solutions int
+	Complete  bool
+	First     time.Duration // time to the stage's first solution (0 when none)
+	Elapsed   time.Duration
+	Stats     sat.Stats // this stage's solver work (clones start at zero)
+}
+
+// DefaultSampleCap bounds the sequential sample stage of a sharded
+// enumeration: enough solutions to estimate candidate frequencies for
+// balanced cube planning, few enough that the stage stays a small
+// fraction of the run. Both sharded drivers (BSAT rounds here and the
+// CEGAR loops in core) share this default.
+const DefaultSampleCap = 64
+
+// CubeOversubscription is how many cubes a sharded enumeration plans
+// per worker: finer slices let the longest-processing-time-first
+// schedule even out the load imbalance that a one-cube-per-worker
+// split cannot.
+const CubeOversubscription = 4
+
+// EnumerateSharded runs one enumeration round as a sample stage plus
+// disjoint assumption-scoped cubes spread over `shards` concurrent
+// workers, and returns the canonically merged solution list: every
+// solution's gates sorted ascending, solutions ordered by size then
+// lexicographically, and strict supersets dropped across stages so the
+// merged set satisfies the essential-only discipline of Lemma 3 — for a
+// completed run it is exactly the monolithic EnumerateRound solution
+// set, independent of the shard count.
+//
+// The sample stage enumerates the first solutions (up to
+// RoundOptions.SampleCap, default 64) monolithically on the live
+// session inside a guarded round that is NOT retired until the workers
+// finish: the forked clones inherit its guarded blocking clauses (and
+// the learnt clauses warmed up by the stage) and assume its guard, so
+// they enumerate exactly the residual space. The sampled solutions
+// drive PlanCubes/ScheduleCubes toward balanced worker loads. If the
+// sample stage already exhausts the space, no forking happens at all.
+//
+// Worker goroutines are additionally bounded by GOMAXPROCS so a
+// saturated machine runs them back to back instead of thrashing.
+//
+// complete reports whether every stage exhausted its slice within the
+// budgets (opts.MaxConflicts/Timeout/MaxSolutions apply per stage) and
+// no post-merge truncation occurred. perShard carries one entry for
+// the sample stage (Shard == -1) plus one per worker.
+//
+// shards <= 1 runs a plain round on the live session (no clone); the
+// output discipline is identical.
+func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [][]int, complete bool, perShard []ShardStats) {
+	if shards <= 1 {
+		start := time.Now()
+		before := sess.Solver.Statistics()
+		st := ShardStats{Shard: 0, Cubes: 1}
+		_, complete = sess.EnumerateRound(opts, func(k int, gates []int) bool {
+			if len(sols) == 0 {
+				st.First = time.Since(start)
+			}
+			sols = append(sols, sortedCopy(gates))
+			return true
+		})
+		SortSolutions(sols)
+		st.Solutions = len(sols)
+		st.Complete = complete
+		st.Elapsed = time.Since(start)
+		st.Stats = sess.Solver.Statistics().Sub(before)
+		return sols, complete, []ShardStats{st}
+	}
+
+	// Sample stage: a guarded, not-yet-retired round on the live session.
+	sampleCap := EffectiveSampleCap(opts.SampleCap, opts.MaxSolutions)
+	sampleRound := sess.NewRound()
+	defer sampleRound.Retire()
+	sampleOpts := opts
+	sampleOpts.MaxSolutions = sampleCap
+	sampleStart := time.Now()
+	sampleBefore := sess.Solver.Statistics()
+	sampleStat := ShardStats{Shard: -1, Cubes: 1}
+	var sample [][]int
+	_, sampleComplete := sess.enumerateInRound(sampleRound, sampleOpts, func(k int, gates []int) bool {
+		if len(sample) == 0 {
+			sampleStat.First = time.Since(sampleStart)
+		}
+		sample = append(sample, sortedCopy(gates))
+		return true
+	})
+	sampleStat.Solutions = len(sample)
+	sampleStat.Complete = sampleComplete
+	sampleStat.Elapsed = time.Since(sampleStart)
+	sampleStat.Stats = sess.Solver.Statistics().Sub(sampleBefore)
+	perShard = append(perShard, sampleStat)
+	if SampleSettled(sampleComplete, len(sample), sampleCap, opts.MaxSolutions) {
+		SortSolutions(sample)
+		return sample, sampleComplete, perShard
+	}
+
+	// The worker phase shares the caller's Timeout window with the
+	// sample stage instead of opening a second one.
+	workerOpts := opts
+	if opts.Timeout > 0 {
+		if workerOpts.Timeout = opts.Timeout - sampleStat.Elapsed; workerOpts.Timeout <= 0 {
+			SortSolutions(sample)
+			return sample, false, perShard
+		}
+	}
+	guard := sampleRound.Guard()
+	groups, stats := sess.RunCubes(shards, workerOpts, sample, true,
+		func(_ int, sh *Shard, cube Cube, budget RoundOptions) ([][]int, bool) {
+			// Caller restrictions stay in force; the cube and the sample
+			// guard are appended to them.
+			budget.ExtraAssumps = append(append(append([]sat.Lit(nil),
+				opts.ExtraAssumps...), cube.Assumps...), guard)
+			var local [][]int
+			_, c := sh.Session.EnumerateRound(budget, func(k int, gates []int) bool {
+				local = append(local, sortedCopy(gates))
+				return true
+			})
+			return local, c
+		})
+
+	complete = true
+	for _, st := range stats {
+		complete = complete && st.Complete
+	}
+	perShard = append(perShard, stats...)
+	sols, truncated := MergeTruncate(append([][][]int{sample}, groups...), opts.MaxSolutions)
+	return sols, complete && !truncated, perShard
+}
+
+// RunCubes is the worker harness both sharded drivers (the BSAT rounds
+// above and the CEGAR loops in core) execute their cubes on: it plans
+// balanced cubes from the sample, LPT-schedules them onto `shards`
+// cloned workers, and drives `run` once per (worker, cube) — calls for
+// one worker are sequential, in its own goroutine — with stage-scoped
+// budgets: each cube receives the worker's remaining Timeout window and
+// remaining MaxSolutions allowance (the sample's finds count against
+// it), so a stage can never exceed the budgets the caller configured.
+// Worker goroutines are bounded by GOMAXPROCS so a saturated machine
+// runs them back to back instead of thrashing.
+//
+// run returns the cube's solutions (each a sorted gate set) and whether
+// the cube's slice was exhausted. RunCubes returns the per-worker
+// solution groups and stats (First is cube-granular; the sample stage
+// owns the true first-solution time). opts.Timeout bounds the whole
+// worker phase with one shared deadline; opts.MaxSolutions is sliced
+// per worker with the sample's finds counted against it.
+func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int, keepLearnts bool,
+	run func(worker int, sh *Shard, cube Cube, budget RoundOptions) ([][]int, bool)) (groups [][][]int, stats []ShardStats) {
+
+	loads := ScheduleCubes(sess.PlanCubes(sample, shards*CubeOversubscription), shards)
+	forks := sess.ForkWorkers(loads, keepLearnts)
+	groups = make([][][]int, len(forks))
+	stats = make([]ShardStats, len(forks))
+	// One deadline covers the whole worker phase — not one window per
+	// worker — so a saturated machine serializing the workers still
+	// honors the caller's Timeout instead of multiplying it.
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	wg.Add(len(forks))
+	for i, sh := range forks {
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			var local [][]int
+			var first time.Duration
+			compl := true
+			for _, cube := range sh.Cubes {
+				budget := opts
+				if !deadline.IsZero() {
+					if budget.Timeout = time.Until(deadline); budget.Timeout <= 0 {
+						compl = false
+						break
+					}
+				}
+				if opts.MaxSolutions > 0 {
+					remaining := opts.MaxSolutions - len(sample) - len(local)
+					if remaining <= 0 {
+						compl = false
+						break
+					}
+					budget.MaxSolutions = remaining
+				}
+				sols, c := run(i, sh, cube, budget)
+				if len(local) == 0 && len(sols) > 0 {
+					first = time.Since(start)
+				}
+				local = append(local, sols...)
+				compl = compl && c
+			}
+			groups[i] = local
+			stats[i] = ShardStats{
+				Shard:     i,
+				Cubes:     len(sh.Cubes),
+				Solutions: len(local),
+				Complete:  compl,
+				First:     first,
+				Elapsed:   time.Since(start),
+				Stats:     sh.Session.Solver.Statistics(),
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	return groups, stats
+}
+
+// EffectiveSampleCap resolves a sharded run's sample-stage bound:
+// sampleCap (0 = DefaultSampleCap) clamped to the caller's solution cap
+// when one is set. Both sharded drivers clamp through this.
+func EffectiveSampleCap(sampleCap, maxSolutions int) int {
+	if sampleCap <= 0 {
+		sampleCap = DefaultSampleCap
+	}
+	if maxSolutions > 0 && maxSolutions < sampleCap {
+		sampleCap = maxSolutions
+	}
+	return sampleCap
+}
+
+// SampleSettled reports whether a sharded run's sample stage already
+// settled the request so no cubes need to run: the space is exhausted
+// (complete), the stage stopped on a budget or cancellation rather
+// than the sample cap (found < sampleCap), or the caller's solution
+// cap is already full — forking would only enumerate residual space
+// the merge must discard. Both sharded drivers (BSAT rounds and CEGAR
+// loops) decide through this, so the stop discrimination cannot
+// diverge between them.
+func SampleSettled(complete bool, found, sampleCap, maxSolutions int) bool {
+	return complete || found < sampleCap || (maxSolutions > 0 && found >= maxSolutions)
+}
+
+// MergeTruncate merges per-stage solution lists canonically and caps
+// the result at max (0 = no cap), reporting whether the cap cut
+// anything. Both sharded drivers (BSAT rounds and CEGAR loops) finish
+// through this, so the merge discipline cannot diverge between them.
+func MergeTruncate(groups [][][]int, max int) (sols [][]int, truncated bool) {
+	sols = MergeShardSolutions(groups)
+	if max > 0 && len(sols) > max {
+		return sols[:max], true
+	}
+	return sols, false
+}
+
+func sortedCopy(gates []int) []int {
+	g := append([]int(nil), gates...)
+	sort.Ints(g)
+	return g
+}
+
+// MergeShardSolutions merges per-stage solution lists (each solution a
+// sorted gate set) into the canonical order and drops strict supersets
+// across stages. Stage-local enumeration already blocks supersets
+// within a stage; a superset surviving in one cube because its witness
+// subset lives in another is exactly what the cross-stage pass removes.
+func MergeShardSolutions(groups [][][]int) [][]int {
+	var all [][]int
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	SortSolutions(all)
+	return DropSupersets(all)
+}
+
+// SortSolutions orders solutions canonically: by size, then
+// lexicographically by gate IDs. Every merge point sorts with this so
+// diagnosis output is byte-identical regardless of shard or worker
+// count. The per-solution gate slices must already be sorted.
+func SortSolutions(sols [][]int) {
+	sort.Slice(sols, func(i, j int) bool { return LessSolution(sols[i], sols[j]) })
+}
+
+// LessSolution is the canonical solution order — size first, then
+// lexicographic over the gate IDs. It is the single definition every
+// layer sorts by (core.SolutionSet.Canonicalize delegates here), so
+// sharded merges and engine reports can never disagree on order.
+func LessSolution(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// DropSupersets removes every solution that strictly contains an
+// earlier (hence no larger) one. The input must be canonically sorted;
+// the relative order of the survivors is preserved.
+func DropSupersets(sols [][]int) [][]int {
+	kept := sols[:0]
+	for _, s := range sols {
+		dominated := false
+		for _, k := range kept {
+			if len(k) < len(s) && subsetOfSorted(k, s) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// subsetOfSorted reports a ⊆ b for ascending-sorted int slices.
+func subsetOfSorted(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}

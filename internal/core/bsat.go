@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -49,9 +50,30 @@ type BSATOptions struct {
 	// Timeout bounds the whole enumeration (0 = unlimited).
 	Timeout time.Duration
 
+	// Shards > 1 forks the enumeration into that many disjoint candidate
+	// shards, each running concurrently on a cloned backend: a sequential
+	// sample stage enumerates the first solutions monolithically, plans
+	// balanced assumption cubes from their candidate frequencies
+	// (cnf.DiagSession.PlanCubes), and the forked shards enumerate the
+	// residual space in parallel. The solution set — canonical order
+	// included — is identical to the monolithic enumeration when all
+	// stages complete; budgets apply per stage. 0 or 1 enumerate
+	// monolithically.
+	Shards int
+
+	// ShardSample bounds the sample stage of a sharded run (0 = the
+	// default of 64 solutions). Ignored for monolithic runs.
+	ShardSample int
+
+	// Ctx, when non-nil, cancels the diagnosis cooperatively:
+	// cancellation surfaces as an incomplete result (Complete == false),
+	// promptly even mid-search.
+	Ctx context.Context
+
 	// Steer, when non-nil, is applied to the live session after instance
 	// construction — the hook the hybrid approach uses to tune decision
-	// heuristics from simulation results (Section 6).
+	// heuristics from simulation results (Section 6). Steering carries
+	// into forked shards: clones copy activities and saved phases.
 	Steer func(inst *cnf.Instance)
 }
 
@@ -75,7 +97,10 @@ type BSATResult struct {
 	Vars    int // SAT instance size (Θ(|I|·m) per Table 1)
 	Clauses int
 	Stats   sat.Stats
-	sess    *cnf.DiagSession
+	// PerShard carries one entry per enumeration shard when the run was
+	// sharded (Shards > 1); nil for monolithic runs.
+	PerShard []cnf.ShardStats
+	sess     *cnf.DiagSession
 }
 
 // Session exposes the live diagnosis session behind the result. Its
@@ -112,21 +137,49 @@ func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATRes
 	res.Vars, res.Clauses = sess.Size()
 
 	start := time.Now()
-	_, complete := sess.EnumerateRound(cnf.RoundOptions{
+	round := cnf.RoundOptions{
 		MaxK:         opts.K,
+		Ctx:          opts.Ctx,
 		MaxSolutions: opts.MaxSolutions,
 		MaxConflicts: opts.MaxConflicts,
 		Timeout:      opts.Timeout,
-	}, func(k int, gates []int) bool {
-		if len(res.Solutions) == 0 {
-			res.Timings.One = time.Since(start)
+		SampleCap:    opts.ShardSample,
+	}
+	if opts.Shards > 1 {
+		sols, complete, perShard := sess.EnumerateSharded(opts.Shards, round)
+		for _, gates := range sols {
+			res.Solutions = append(res.Solutions, NewCorrection(gates))
 		}
-		res.Solutions = append(res.Solutions, NewCorrection(gates))
-		return true
-	})
-	res.Complete = complete
-	res.Timings.All = time.Since(start)
-	res.Stats = sess.Solver.Stats
+		res.Complete = complete
+		res.PerShard = perShard
+		res.Timings.All = time.Since(start)
+		var sampleElapsed time.Duration
+		for _, st := range perShard {
+			res.Stats = res.Stats.Add(st.Stats)
+			first := st.First
+			if st.Shard == -1 {
+				sampleElapsed = st.Elapsed
+			} else if first > 0 {
+				// Shard stages start after the sequential sample stage.
+				first += sampleElapsed
+			}
+			if first > 0 && (res.Timings.One == 0 || first < res.Timings.One) {
+				res.Timings.One = first
+			}
+		}
+	} else {
+		_, complete := sess.EnumerateRound(round, func(k int, gates []int) bool {
+			if len(res.Solutions) == 0 {
+				res.Timings.One = time.Since(start)
+			}
+			res.Solutions = append(res.Solutions, NewCorrection(gates))
+			return true
+		})
+		res.Complete = complete
+		res.Timings.All = time.Since(start)
+		res.Stats = sess.Solver.Statistics()
+	}
+	res.Canonicalize()
 	return res, nil
 }
 
@@ -271,10 +324,11 @@ func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*B
 		res := &BSATResult{sess: sess}
 		// Stats is this pass's own solver work.
 		res.Vars, res.Clauses = vars, clauses
-		before := sess.Solver.Stats
+		before := sess.Solver.Statistics()
 		start := time.Now()
 		_, complete := sess.EnumerateRound(cnf.RoundOptions{
 			MaxK:         opts.K,
+			Ctx:          opts.Ctx,
 			Restrict:     cands,
 			MaxSolutions: opts.MaxSolutions,
 			MaxConflicts: opts.MaxConflicts,
@@ -288,7 +342,8 @@ func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*B
 		})
 		res.Complete = complete
 		res.Timings.All = time.Since(start)
-		res.Stats = sess.Solver.Stats.Sub(before)
+		res.Stats = sess.Solver.Statistics().Sub(before)
+		res.Canonicalize()
 		return res
 	}
 
@@ -369,6 +424,7 @@ func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize in
 		}
 		_, compl := sess.EnumerateRound(cnf.RoundOptions{
 			MaxK:         opts.K,
+			Ctx:          opts.Ctx,
 			ActiveTests:  active,
 			MaxSolutions: opts.MaxSolutions,
 			MaxConflicts: opts.MaxConflicts,
@@ -380,16 +436,15 @@ func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize in
 		})
 		complete = complete && compl
 	}
-	out := &SolutionSet{Complete: complete}
-	keys := make([]string, 0, len(byKey))
-	for key := range byKey {
-		keys = append(keys, key)
+	candidates := &SolutionSet{}
+	for _, sol := range byKey {
+		candidates.Solutions = append(candidates.Solutions, sol)
 	}
-	sort.Strings(keys)
-	if len(keys) > 0 {
+	candidates.Canonicalize()
+	out := &SolutionSet{Complete: complete}
+	if len(candidates.Solutions) > 0 {
 		v := NewValidator(c, tests)
-		for _, key := range keys {
-			sol := byKey[key]
+		for _, sol := range candidates.Solutions {
 			if v.Essential(sol.Gates) {
 				out.Solutions = append(out.Solutions, sol)
 			}

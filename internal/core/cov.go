@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,6 +39,9 @@ type CovOptions struct {
 	Engine       CovEngine
 	MaxSolutions int   // cap on enumerated covers (0 = unlimited)
 	MaxConflicts int64 // SAT budget (CovSAT only; 0 = unlimited)
+	// Ctx, when non-nil, cancels the covering enumeration cooperatively
+	// (surfaces as an incomplete result).
+	Ctx context.Context
 	// UseXList derives the candidate sets by X-injection screening
 	// (XDiagnose) instead of path tracing — the alternative
 	// simulation-based engine of Section 2.2.
@@ -85,7 +89,7 @@ func COV(c *circuit.Circuit, tests circuit.TestSet, opts CovOptions) (*CovResult
 	res.Timings.CNF = time.Since(start) // includes the BSIM stage, as in Table 2
 
 	solveStart := time.Now()
-	covOpts := cover.Options{MaxK: opts.K, MaxSolutions: opts.MaxSolutions, MaxConflicts: opts.MaxConflicts}
+	covOpts := cover.Options{MaxK: opts.K, MaxSolutions: opts.MaxSolutions, MaxConflicts: opts.MaxConflicts, Ctx: opts.Ctx}
 	var (
 		result *cover.Result
 		err    error

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/cnf"
 )
 
 // Correction is a set of candidate gates where changing the gate
@@ -83,6 +85,17 @@ type Timings struct {
 type SolutionSet struct {
 	Solutions []Correction
 	Complete  bool
+}
+
+// Canonicalize sorts the solutions into the canonical order — by size,
+// then lexicographically by gate IDs (cnf.LessSolution, the single
+// definition of the order) — in place. Every merge point and every
+// engine result passes through this, so diagnosis output is
+// byte-identical regardless of worker or shard count.
+func (ss *SolutionSet) Canonicalize() {
+	sort.Slice(ss.Solutions, func(i, j int) bool {
+		return cnf.LessSolution(ss.Solutions[i].Gates, ss.Solutions[j].Gates)
+	})
 }
 
 // ContainsKey reports whether an identical correction is present.

@@ -14,6 +14,7 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -110,6 +111,9 @@ type Options struct {
 	MaxK         int   // largest cover size (required, >= 1)
 	MaxSolutions int   // cap on enumerated covers (0 = unlimited)
 	MaxConflicts int64 // SAT budget per stage (0 = unlimited)
+	// Ctx, when non-nil, cancels the enumeration cooperatively
+	// (Result.Complete reports false).
+	Ctx context.Context
 }
 
 // Result carries the enumerated covers and completeness information.
@@ -165,7 +169,7 @@ func EnumerateSAT(p *Problem, opts Options) (*Result, error) {
 				return res, nil
 			}
 		}
-		_, complete := s.EnumerateProjected(lits, sat.EnumOptions{Assumptions: assumps, MaxSolutions: remaining}, func(trueLits []sat.Lit) bool {
+		_, complete := s.EnumerateProjected(lits, sat.EnumOptions{Assumptions: assumps, Ctx: opts.Ctx, MaxSolutions: remaining}, func(trueLits []sat.Lit) bool {
 			cov := make([]int, len(trueLits))
 			for i, l := range trueLits {
 				cov[i] = universe[indexOfLit(lits, l)]
@@ -221,9 +225,16 @@ func EnumerateBB(p *Problem, opts Options) (*Result, error) {
 	sel := make([]int, 0, opts.MaxK)
 	cov := make([]int, 0, opts.MaxK) // reused sorted-copy buffer
 	var key []byte                   // reused dedup-key buffer
+	nodes := 0
 	var rec func() bool
 	rec = func() bool {
 		if opts.MaxSolutions > 0 && len(res.Covers) >= opts.MaxSolutions {
+			res.Complete = false
+			return false
+		}
+		// Poll the cancellation context every few hundred search nodes so
+		// it never dominates the per-node cost.
+		if nodes++; opts.Ctx != nil && nodes&255 == 0 && opts.Ctx.Err() != nil {
 			res.Complete = false
 			return false
 		}

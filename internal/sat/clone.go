@@ -1,0 +1,63 @@
+package sat
+
+// Clone returns an independent snapshot of the solver: the problem
+// clause database, the variable state (level-0 assignments, VSIDS
+// activities, saved phases, decision flags) and the top-level trail are
+// deep-copied, so the clone and the original diverge freely afterwards.
+// With keepLearnts the learnt-clause database comes along too, seeding
+// the clone's search with everything the original has already deduced;
+// without it the clone restarts learning from scratch on a smaller
+// database.
+//
+// The clone starts with fresh budgets (no conflict cap, no deadline, no
+// context) and zeroed Statistics, so per-clone work is attributable —
+// sharded enumeration reads each shard's solver effort directly off its
+// clone.
+//
+// Clone must be called between Solve calls (decision level 0). Level-0
+// reason clauses are dropped rather than remapped: conflict analysis
+// never dereferences the reason of a level-0 variable (every use is
+// guarded by level > 0), and top-level trail entries are never undone.
+func (s *Solver) Clone(keepLearnts bool) Backend {
+	if s.decisionLevel() != 0 {
+		panic("sat: Clone above decision level 0")
+	}
+	n := &Solver{
+		assigns:   append([]LBool(nil), s.assigns...),
+		level:     append([]int32(nil), s.level...),
+		reason:    make([]*clause, len(s.reason)),
+		trail:     append([]Lit(nil), s.trail...),
+		qhead:     s.qhead,
+		activity:  append([]float64(nil), s.activity...),
+		varInc:    s.varInc,
+		polarity:  append([]bool(nil), s.polarity...),
+		decision:  append([]bool(nil), s.decision...),
+		clauseInc: s.clauseInc,
+		seen:      make([]byte, len(s.seen)),
+		ok:        s.ok,
+
+		ClauseMinimize: s.ClauseMinimize,
+		PhaseSaving:    s.PhaseSaving,
+
+		maxLearnts:    s.maxLearnts,
+		simpDBAssigns: s.simpDBAssigns,
+	}
+	n.order.heap = append([]Var(nil), s.order.heap...)
+	n.order.pos = append([]int32(nil), s.order.pos...)
+	n.watches = make([][]watch, len(s.watches))
+	n.clauses = make([]*clause, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		nc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd}
+		n.clauses = append(n.clauses, nc)
+		n.attach(nc)
+	}
+	if keepLearnts {
+		n.learnts = make([]*clause, 0, len(s.learnts))
+		for _, c := range s.learnts {
+			nc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd, learnt: true}
+			n.learnts = append(n.learnts, nc)
+			n.attach(nc)
+		}
+	}
+	return n
+}

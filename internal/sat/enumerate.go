@@ -1,10 +1,16 @@
 package sat
 
+import "context"
+
 // EnumOptions configures projected model enumeration.
 type EnumOptions struct {
 	// Assumptions are passed to every Solve call (e.g. the cardinality
 	// bound of the current diagnosis stage).
 	Assumptions []Lit
+	// Ctx, when non-nil, cancels the enumeration cooperatively: it is
+	// polled before every Solve and inside the search (SolveContext), so
+	// ctx.Done() surfaces as an incomplete enumeration promptly.
+	Ctx context.Context
 	// MaxSolutions stops enumeration after this many models (0 = no cap).
 	MaxSolutions int
 	// ExactBlocking blocks only the exact projected assignment (both
@@ -43,7 +49,10 @@ func (s *Solver) EnumerateProjected(proj []Lit, opts EnumOptions, fn func(trueLi
 		if opts.MaxSolutions > 0 && n >= opts.MaxSolutions {
 			return n, false
 		}
-		switch s.Solve(opts.Assumptions...) {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return n, false
+		}
+		switch s.SolveContext(opts.Ctx, opts.Assumptions...) {
 		case StatusUnknown:
 			return n, false
 		case StatusUnsat:

@@ -123,6 +123,22 @@ type Stats struct {
 	Reduces      int64
 }
 
+// Add returns the field-wise sum s + o. Sharded enumeration uses it to
+// aggregate the per-clone work counters into one report.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions + o.Decisions,
+		Propagations: s.Propagations + o.Propagations,
+		Conflicts:    s.Conflicts + o.Conflicts,
+		Restarts:     s.Restarts + o.Restarts,
+		Learnt:       s.Learnt + o.Learnt,
+		LearntLits:   s.LearntLits + o.LearntLits,
+		MinimizedLit: s.MinimizedLit + o.MinimizedLit,
+		Simplifies:   s.Simplifies + o.Simplifies,
+		Reduces:      s.Reduces + o.Reduces,
+	}
+}
+
 // Sub returns the field-wise difference s - o: the work performed since
 // the snapshot o was taken. Long-lived sessions use it to attribute
 // solver work to individual enumeration rounds.

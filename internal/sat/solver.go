@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"time"
 )
 
@@ -42,6 +43,11 @@ type Solver struct {
 	// Budgets; zero values mean unlimited.
 	MaxConflicts int64     // per-Solve conflict budget
 	Deadline     time.Time // wall-clock cutoff, checked between restarts
+
+	// Cooperative cancellation (SolveContext); polled between restarts
+	// and every ctxPollConflicts conflicts inside the search.
+	ctx     context.Context
+	ctxNext int64 // Stats.Conflicts value at which to poll ctx next
 
 	// Heuristic switches (enabled by default in New).
 	ClauseMinimize bool
@@ -125,6 +131,10 @@ func (s *Solver) ValueLit(l Lit) LBool {
 // ConflictSet returns the subset of the assumptions under which the last
 // Solve proved unsatisfiability (a failed-assumption core, negated form).
 func (s *Solver) ConflictSet() []Lit { return s.conflictSet }
+
+// Statistics returns the accumulated work counters (the Stats field,
+// behind the Backend interface).
+func (s *Solver) Statistics() Stats { return s.Stats }
 
 // SetPolarity fixes the saved phase of v: the value the solver tries
 // first when branching on v. Hybrid diagnosis uses this to steer the
@@ -582,6 +592,43 @@ outer:
 	return append([]*clause(nil), keep...)
 }
 
+// ctxPollConflicts is how many conflicts may pass between cancellation
+// polls inside search: frequent enough that ctx.Done() surfaces
+// promptly, rare enough that the select never shows up in profiles.
+const ctxPollConflicts = 64
+
+// interrupted reports whether the active SolveContext was cancelled.
+func (s *Solver) interrupted() bool {
+	if s.ctx == nil {
+		return false
+	}
+	select {
+	case <-s.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// SolveContext is Solve under a cancellation context: when ctx is done
+// the search winds down and returns StatusUnknown (the same verdict an
+// expired budget produces), leaving the solver usable. A nil ctx makes
+// SolveContext identical to Solve. The context is polled between
+// restarts and every ctxPollConflicts conflicts, so cancellation
+// surfaces promptly even inside a long search.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
+	if ctx == nil {
+		return s.Solve(assumptions...)
+	}
+	if ctx.Err() != nil {
+		return StatusUnknown
+	}
+	s.ctx = ctx
+	s.ctxNext = s.Stats.Conflicts + ctxPollConflicts
+	defer func() { s.ctx = nil }()
+	return s.Solve(assumptions...)
+}
+
 // Solve determines satisfiability under the given assumptions. On
 // StatusSat the model is available through Value; on StatusUnsat under
 // assumptions, ConflictSet holds a failed-assumption core. StatusUnknown
@@ -632,6 +679,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
 			return StatusUnknown
 		}
+		if s.interrupted() {
+			return StatusUnknown
+		}
 		if s.MaxConflicts > 0 && s.Stats.Conflicts-startConflicts >= s.MaxConflicts {
 			return StatusUnknown
 		}
@@ -647,6 +697,13 @@ func (s *Solver) search(nConflicts int) Status {
 		if confl != nil {
 			s.Stats.Conflicts++
 			conflicts++
+			if s.ctx != nil && s.Stats.Conflicts >= s.ctxNext {
+				s.ctxNext = s.Stats.Conflicts + ctxPollConflicts
+				if s.interrupted() {
+					s.cancelUntil(0)
+					return StatusUnknown
+				}
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return StatusUnsat
