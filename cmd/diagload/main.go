@@ -1,0 +1,491 @@
+// Command diagload replays synthetic multi-client diagnosis traffic
+// against a running diagserver and reports throughput and latency
+// quantiles, plus the server-side pool hit rate.
+//
+// Modes:
+//
+//	diagload -addr http://localhost:8344 -n 100 -c 8 -circuits s298x,s400x,s526x -zipf 1.2
+//	    mixed load: zipf-popular circuits, warm pool, p50/p99 report
+//	diagload -smoke
+//	    one cold + one warm request; exits non-zero unless the warm
+//	    request reports a pool hit with identical solutions
+//	diagload -compare -circuits s1423x -tests 16 -inject 2
+//	    cold vs warm vs incremental latency on one workload (the
+//	    Table 2 amortization measurement)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/service"
+	"repro/internal/tgen"
+)
+
+type config struct {
+	addr     string
+	circuits []string
+	inject   int
+	seed     int64
+	tests    int
+	k        int
+	shards   []int    // each request draws one uniformly
+	engines  []string // each request draws one uniformly ("" = bsat)
+	n        int
+	clients  int
+	zipf     float64
+	coldFrac float64
+	reps     int
+	minSpeed float64
+	out      io.Writer
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8344", "diagserver base URL")
+		circuits = flag.String("circuits", "s298x,s400x,s526x", "comma-separated suite circuits")
+		inject   = flag.Int("inject", 1, "errors injected per circuit")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		tests    = flag.Int("tests", 8, "failing tests per workload")
+		k        = flag.Int("k", 0, "correction size limit (0 = number of injected errors)")
+		shards   = flag.String("shards", "1", "comma-separated shard counts; each request draws one")
+		engines  = flag.String("engines", "bsat", "comma-separated engine mix; each request draws one")
+		n        = flag.Int("n", 50, "total requests")
+		clients  = flag.Int("c", 4, "concurrent clients")
+		zipf     = flag.Float64("zipf", 1.2, "circuit popularity skew (<=1 = uniform)")
+		coldFrac = flag.Float64("cold-frac", 0, "fraction of requests forced cold (pool bypass)")
+		reps     = flag.Int("reps", 3, "repetitions per stage in -compare")
+		minSpeed = flag.Float64("min-speedup", 0, "-compare exits non-zero when warm speedup is below this")
+		smoke    = flag.Bool("smoke", false, "cold+warm smoke: assert the warm request hits the pool")
+		compare  = flag.Bool("compare", false, "measure cold vs warm vs incremental latency")
+	)
+	flag.Parse()
+
+	shardList, err := splitInts(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagload: -shards:", err)
+		os.Exit(1)
+	}
+	cfg := config{
+		addr: strings.TrimRight(*addr, "/"), circuits: splitList(*circuits),
+		inject: *inject, seed: *seed, tests: *tests, k: *k,
+		shards: shardList, engines: splitList(*engines),
+		n: *n, clients: *clients, zipf: *zipf, coldFrac: *coldFrac,
+		reps: *reps, minSpeed: *minSpeed, out: os.Stdout,
+	}
+	if cfg.k <= 0 {
+		cfg.k = cfg.inject
+	}
+	if len(cfg.engines) == 0 {
+		cfg.engines = []string{"bsat"}
+	}
+	if len(cfg.shards) == 0 {
+		cfg.shards = []int{1}
+	}
+	switch {
+	case *smoke:
+		err = runSmoke(cfg)
+	case *compare:
+		err = runCompare(cfg)
+	default:
+		err = runLoad(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagload:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		var v int
+		if _, err := fmt.Sscanf(p, "%d", &v); err != nil || v < 1 {
+			return nil, fmt.Errorf("bad count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// workload is one circuit's prepared request payload.
+type workload struct {
+	name  string
+	bench string
+	tests []service.TestJSON
+	extra []service.TestJSON // spare tests for incremental edits
+}
+
+// prepare builds the faulty circuit and failing tests for each named
+// circuit, scanning seeds until the injected fault is detectable.
+func prepare(cfg config) ([]workload, error) {
+	loads := make([]workload, 0, len(cfg.circuits))
+	for ci, name := range cfg.circuits {
+		golden, err := gen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var wl *workload
+		for s := cfg.seed + int64(ci); s < cfg.seed+int64(ci)+50; s++ {
+			faulty, _, err := faults.Inject(golden, faults.Options{Count: cfg.inject, Seed: s})
+			if err != nil {
+				return nil, fmt.Errorf("%s: inject: %w", name, err)
+			}
+			// One spare test beyond the base set feeds -compare's
+			// incremental stage.
+			ts, err := tgen.Random(golden, faulty, tgen.Options{Count: cfg.tests + 1, Seed: s})
+			if err == tgen.ErrUndetected {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s: tests: %w", name, err)
+			}
+			var sb strings.Builder
+			if err := circuit.WriteBench(&sb, faulty); err != nil {
+				return nil, err
+			}
+			wire := toWire(ts)
+			wl = &workload{name: name, bench: sb.String(), tests: wire[:cfg.tests], extra: wire[cfg.tests:]}
+			break
+		}
+		if wl == nil {
+			return nil, fmt.Errorf("%s: no detectable fault in 50 seeds", name)
+		}
+		loads = append(loads, *wl)
+	}
+	return loads, nil
+}
+
+func toWire(ts circuit.TestSet) []service.TestJSON {
+	out := make([]service.TestJSON, len(ts))
+	for i, t := range ts {
+		var vb strings.Builder
+		for _, b := range t.Vector {
+			if b {
+				vb.WriteByte('1')
+			} else {
+				vb.WriteByte('0')
+			}
+		}
+		out[i] = service.TestJSON{Vector: vb.String(), Output: t.Output, Want: t.Want}
+	}
+	return out
+}
+
+func postJSON[T any](base, path string, body any) (T, error) {
+	var out T
+	b, err := json.Marshal(body)
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return out, fmt.Errorf("%s: decode: %w", path, err)
+	}
+	return out, nil
+}
+
+func (cfg config) request(wl workload, mode, engine string, shards int) service.DiagnoseRequest {
+	return service.DiagnoseRequest{
+		Bench:  wl.bench,
+		Tests:  wl.tests,
+		K:      cfg.k,
+		Shards: shards,
+		Engine: engine,
+		Mode:   mode,
+	}
+}
+
+// base is the single-choice request the smoke/compare paths use.
+func (cfg config) base(wl workload, mode string) service.DiagnoseRequest {
+	return cfg.request(wl, mode, cfg.engines[0], cfg.shards[0])
+}
+
+// fetchMetric scrapes one plain sample from /metrics.
+func fetchMetric(base, name string) (int64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v int64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%d", &v); err != nil {
+				return 0, err
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not exposed", name)
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runLoad replays mixed multi-client traffic with zipf circuit
+// popularity and reports throughput + latency quantiles.
+func runLoad(cfg config) error {
+	loads, err := prepare(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "workloads: %d circuits, %d tests each, k=%d, engines=%v, shards=%v\n",
+		len(loads), cfg.tests, cfg.k, cfg.engines, cfg.shards)
+
+	type sample struct {
+		d    time.Duration
+		mode string
+		hit  bool
+	}
+	samples := make([]sample, cfg.n)
+	var idx struct {
+		sync.Mutex
+		next int
+	}
+	pick := func(r *rand.Rand, z *rand.Zipf) int {
+		if z != nil {
+			return int(z.Uint64())
+		}
+		return r.Intn(len(loads))
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.clients)
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			var z *rand.Zipf
+			if cfg.zipf > 1 && len(loads) > 1 {
+				z = rand.NewZipf(r, cfg.zipf, 1, uint64(len(loads)-1))
+			}
+			for {
+				idx.Lock()
+				i := idx.next
+				idx.next++
+				idx.Unlock()
+				if i >= cfg.n {
+					return
+				}
+				wl := loads[pick(r, z)]
+				mode := ""
+				if cfg.coldFrac > 0 && r.Float64() < cfg.coldFrac {
+					mode = "cold"
+				}
+				engine := cfg.engines[r.Intn(len(cfg.engines))]
+				shards := cfg.shards[r.Intn(len(cfg.shards))]
+				t0 := time.Now()
+				resp, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.request(wl, mode, engine, shards))
+				if err != nil {
+					errs <- err
+					return
+				}
+				samples[i] = sample{d: time.Since(t0), mode: resp.Mode, hit: resp.PoolHit}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	byMode := map[string][]time.Duration{}
+	hits := 0
+	for _, s := range samples {
+		byMode[s.mode] = append(byMode[s.mode], s.d)
+		if s.hit {
+			hits++
+		}
+	}
+	fmt.Fprintf(cfg.out, "%d requests in %v — %.1f req/s, client-observed pool hits %d/%d\n",
+		cfg.n, elapsed.Round(time.Millisecond), float64(cfg.n)/elapsed.Seconds(), hits, cfg.n)
+	modes := make([]string, 0, len(byMode))
+	for m := range byMode {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		ds := byMode[m]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Fprintf(cfg.out, "  %-11s n=%-4d p50=%-10v p99=%v\n",
+			m, len(ds), quantile(ds, 0.50).Round(time.Microsecond), quantile(ds, 0.99).Round(time.Microsecond))
+	}
+	for _, name := range []string{"diag_pool_hits_total", "diag_pool_misses_total", "diag_pool_evictions_total"} {
+		if v, err := fetchMetric(cfg.addr, name); err == nil {
+			fmt.Fprintf(cfg.out, "  %s %d\n", name, v)
+		}
+	}
+	return nil
+}
+
+// runSmoke drives one cold and one warm request and asserts the warm
+// one hit the session pool with identical solutions — the CI gate.
+func runSmoke(cfg config) error {
+	cfg.circuits = cfg.circuits[:1]
+	loads, err := prepare(cfg)
+	if err != nil {
+		return err
+	}
+	wl := loads[0]
+	cold, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.base(wl, ""))
+	if err != nil {
+		return err
+	}
+	if cold.PoolHit {
+		return fmt.Errorf("smoke: first request unexpectedly hit the pool")
+	}
+	warm, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.base(wl, ""))
+	if err != nil {
+		return err
+	}
+	if !warm.PoolHit {
+		return fmt.Errorf("smoke: warm request missed the pool (mode=%s)", warm.Mode)
+	}
+	a, _ := json.Marshal(cold.Solutions)
+	b, _ := json.Marshal(warm.Solutions)
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("smoke: warm solutions diverged:\n cold %s\n warm %s", a, b)
+	}
+	hitsMetric, err := fetchMetric(cfg.addr, "diag_pool_hits_total")
+	if err != nil {
+		return err
+	}
+	if hitsMetric < 1 {
+		return fmt.Errorf("smoke: /metrics reports %d pool hits, want >= 1", hitsMetric)
+	}
+	fmt.Fprintf(cfg.out, "smoke ok: %s cold %.1fms -> warm %.1fms (pool hit, %d solutions identical)\n",
+		wl.name, cold.ElapsedMs, warm.ElapsedMs, len(warm.Solutions))
+	return nil
+}
+
+// runCompare measures the amortization the warm-session design exists
+// for: cold (pool bypass) vs warm (session reuse) vs incremental (test
+// edit on the live session) latency on one workload.
+func runCompare(cfg config) error {
+	cfg.circuits = cfg.circuits[:1]
+	loads, err := prepare(cfg)
+	if err != nil {
+		return err
+	}
+	wl := loads[0]
+	fmt.Fprintf(cfg.out, "compare: %s, %d tests, k=%d, shards=%d, %d reps\n",
+		wl.name, cfg.tests, cfg.k, cfg.shards[0], cfg.reps)
+
+	measure := func(fn func() error) (time.Duration, error) {
+		best := time.Duration(0)
+		for r := 0; r < cfg.reps; r++ {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			d := time.Since(t0)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	cold, err := measure(func() error {
+		_, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.base(wl, "cold"))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Warm-start once (pool miss builds the session), then measure hits.
+	first, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.base(wl, ""))
+	if err != nil {
+		return err
+	}
+	warm, err := measure(func() error {
+		resp, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.base(wl, ""))
+		if err != nil {
+			return err
+		}
+		if !resp.PoolHit {
+			return fmt.Errorf("warm request missed the pool")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Incremental: alternately add and retract the spare test on the
+	// live session — the "edited test-set" re-diagnosis.
+	sid := first.Session
+	addSpare := true
+	incr, err := measure(func() error {
+		var req service.SessionTestsRequest
+		if addSpare {
+			req.Add = wl.extra
+		} else {
+			req.Remove = []int{cfg.tests} // the spare sits past the base tests
+		}
+		addSpare = !addSpare
+		_, err := postJSON[service.DiagnoseResponse](cfg.addr, "/sessions/"+sid+"/tests", req)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	speedW := float64(cold) / float64(warm)
+	speedI := float64(cold) / float64(incr)
+	fmt.Fprintf(cfg.out, "  cold        %v\n  warm        %v  (%.2fx)\n  incremental %v  (%.2fx)\n",
+		cold.Round(time.Microsecond), warm.Round(time.Microsecond), speedW,
+		incr.Round(time.Microsecond), speedI)
+	if cfg.minSpeed > 0 && speedW < cfg.minSpeed {
+		return fmt.Errorf("warm speedup %.2fx below required %.2fx", speedW, cfg.minSpeed)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command diagserver serves circuit diagnosis over JSON/HTTP: a warm
+// session pool amortizes SAT instance construction and learnt-clause
+// warmup across requests, a bounded scheduler applies backpressure, and
+// /metrics exposes pool and latency telemetry.
+//
+// Start it, then drive it with curl or cmd/diagload:
+//
+//	diagserver -addr :8344 &
+//	curl -s 'localhost:8344/scenario?circuit=s298x&inject=1&seed=3&tests=6' > sc.json
+//	jq '{bench, tests, k}' sc.json | curl -s -d @- localhost:8344/diagnose | jq .
+//
+// Endpoints:
+//
+//	POST /diagnose            diagnose a faulty netlist against failing tests
+//	POST /sessions/{id}/tests incremental re-diagnosis: edit a warm session's test-set
+//	GET  /sessions            list warm sessions
+//	GET  /healthz             liveness + pool/scheduler gauges
+//	GET  /metrics             Prometheus-style counters and histograms
+//	GET  /scenario            generate a self-contained faulty circuit + failing tests
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8344", "listen address")
+		workers   = flag.Int("workers", 0, "request executor pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth (full queue -> 429)")
+		poolMB    = flag.Int64("pool-mb", 512, "warm-session pool budget in MiB (LRU eviction past it)")
+		sessions  = flag.Int("pool-sessions", 64, "warm-session count bound")
+		defTO    = flag.Duration("default-timeout", 2*time.Minute, "budget for requests without one")
+		maxTO    = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied budgets (0 = none)")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	srv := service.NewServer(service.Options{
+		Pool: service.PoolOptions{
+			MaxBytes:    *poolMB << 20,
+			MaxSessions: *sessions,
+		},
+		Scheduler: service.SchedulerOptions{
+			Workers:        *workers,
+			Queue:          *queue,
+			DefaultTimeout: *defTO,
+			MaxTimeout:     *maxTO,
+		},
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("diagserver listening on %s (workers=%d queue=%d pool=%dMiB)",
+		*addr, srv.Sched().Workers(), *queue, *poolMB)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("%v: draining (budget %v)", sig, *drainTO)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	// Stop accepting connections first, then let admitted diagnoses
+	// finish.
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("diagserver: drained cleanly")
+}

@@ -61,6 +61,51 @@ type DiagSession struct {
 	// BuildTime accumulates the encoding time across NewSession and
 	// every AddTest (the Table 1/2 "CNF" column for monolithic builds).
 	BuildTime time.Duration
+
+	// Lifetime counters behind Stats(): enumeration rounds opened and
+	// retired on this session, and how many of those rounds installed a
+	// finite solver budget (conflict cap or deadline).
+	rounds, retiredRounds, budgetedRounds int
+}
+
+// SessionStats is a point-in-time snapshot of a session's accumulated
+// SAT cost, exposed so long-lived holders (the diagnosis server's
+// /metrics endpoint in particular) can report per-session work without
+// reaching into session or solver internals.
+type SessionStats struct {
+	// Vars and Clauses size the live instance (select lines, ladder,
+	// every encoded copy, plus round guards and blocking clauses).
+	Vars, Clauses int
+	// Copies is the number of encoded test copies; Candidates the number
+	// of select lines; LadderWidth the largest enforceable "at most k"
+	// plus one (0 when the ladder is degenerate).
+	Copies, Candidates, LadderWidth int
+	// BuildTime is the total encoding time (NewSession + every AddTest).
+	BuildTime time.Duration
+	// Rounds counts enumeration rounds opened; RetiredRounds those whose
+	// blocking clauses have been retracted; BudgetedRounds the rounds
+	// that ran under a finite conflict or wall-clock budget.
+	Rounds, RetiredRounds, BudgetedRounds int
+	// Solver holds the backend's accumulated work counters.
+	Solver sat.Stats
+}
+
+// Stats snapshots the session's size and cost counters. Like every
+// other session method it must not race with concurrent session use.
+func (sess *DiagSession) Stats() SessionStats {
+	vars, clauses := sess.Size()
+	return SessionStats{
+		Vars:           vars,
+		Clauses:        clauses,
+		Copies:         len(sess.Tests),
+		Candidates:     len(sess.Sels),
+		LadderWidth:    sess.Ladder.Width(),
+		BuildTime:      sess.BuildTime,
+		Rounds:         sess.rounds,
+		RetiredRounds:  sess.retiredRounds,
+		BudgetedRounds: sess.budgetedRounds,
+		Solver:         sess.Solver.Statistics(),
+	}
 }
 
 // NewSession creates an empty diagnosis session: select lines and the
@@ -342,6 +387,7 @@ type Round struct {
 
 // NewRound opens an enumeration round.
 func (sess *DiagSession) NewRound() *Round {
+	sess.rounds++
 	return &Round{sess: sess, guard: sat.PosLit(sess.Solver.NewVar())}
 }
 
@@ -368,6 +414,7 @@ func (r *Round) Retire() {
 		return
 	}
 	r.retired = true
+	r.sess.retiredRounds++
 	r.sess.Solver.AddClause(r.guard.Neg())
 }
 
@@ -429,6 +476,9 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 		panic("cnf: EnumerateRound limit exceeds the session's ladder width (rebuild with a larger MaxK)")
 	}
 	sess.Solver.SetBudget(opts.MaxConflicts, opts.Timeout)
+	if opts.MaxConflicts > 0 || opts.Timeout > 0 {
+		sess.budgetedRounds++
+	}
 
 	base := []sat.Lit{r.Guard()}
 	base = append(base, opts.ExtraAssumps...)

@@ -180,3 +180,40 @@ func TestSessionRoundBudgetsAreFresh(t *testing.T) {
 		t.Fatalf("round after timeout: %v != %v", got, want)
 	}
 }
+
+// TestSessionStats: the Stats snapshot must track copies, rounds and
+// solver work as the session is used, without disturbing it.
+func TestSessionStats(t *testing.T) {
+	c, tests := sessionScenario(t, 3, 6)
+	sess := cnf.NewSession(c, cnf.DiagOptions{MaxK: 2})
+	st := sess.Stats()
+	if st.Copies != 0 || st.Rounds != 0 || st.Candidates == 0 {
+		t.Fatalf("fresh session stats: %+v", st)
+	}
+	sess.AddTests(tests)
+	st = sess.Stats()
+	if st.Copies != len(tests) {
+		t.Fatalf("copies %d after %d AddTests", st.Copies, len(tests))
+	}
+	if st.Vars == 0 || st.Clauses == 0 || st.BuildTime <= 0 {
+		t.Fatalf("instance size not reported: %+v", st)
+	}
+
+	roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
+	st = sess.Stats()
+	if st.Rounds != 1 || st.RetiredRounds != 1 {
+		t.Fatalf("after one retired round: rounds=%d retired=%d", st.Rounds, st.RetiredRounds)
+	}
+	if st.BudgetedRounds != 0 {
+		t.Fatalf("unbudgeted round counted as budgeted: %+v", st)
+	}
+	if st.Solver.Decisions == 0 && st.Solver.Propagations == 0 {
+		t.Fatalf("no solver work recorded: %+v", st.Solver)
+	}
+
+	sess.EnumerateRound(cnf.RoundOptions{MaxK: 2, MaxConflicts: 1000}, nil)
+	st = sess.Stats()
+	if st.Rounds != 2 || st.BudgetedRounds != 1 {
+		t.Fatalf("after budgeted round: rounds=%d budgeted=%d", st.Rounds, st.BudgetedRounds)
+	}
+}

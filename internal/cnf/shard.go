@@ -223,6 +223,16 @@ func (sess *DiagSession) ForkWorkers(workers [][]Cube, keepLearnts bool) []*Shar
 	return shards
 }
 
+// Release drops the shard's references to its cloned session (and hence
+// the cloned solver's clause database) so a finished or cancelled worker
+// frees its clone for collection immediately, instead of keeping every
+// clone alive until the whole sharded run returns. Idempotent; the shard
+// must not be used for enumeration afterwards.
+func (sh *Shard) Release() {
+	sh.Session = nil
+	sh.Cubes = nil
+}
+
 // Fork splits the session's solution space into up to n disjoint
 // assumption-scoped shards, each on a Clone of the backend, one cube
 // per shard. Without sample information the cubes come from the
@@ -415,6 +425,15 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 			var first time.Duration
 			compl := true
 			for _, cube := range sh.Cubes {
+				// A cancelled run must not start further cubes: without
+				// this check a worker that acquired its GOMAXPROCS slot
+				// after cancellation would still walk every cube (each
+				// solve returns quickly, but budget setup and assumption
+				// plumbing are not free across many cubes).
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					compl = false
+					break
+				}
 				budget := opts
 				if !deadline.IsZero() {
 					if budget.Timeout = time.Until(deadline); budget.Timeout <= 0 {
@@ -447,6 +466,10 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 				Elapsed:   time.Since(start),
 				Stats:     sh.Session.Solver.Statistics(),
 			}
+			// The clone's work counters are captured above; drop the
+			// clone itself now so cancelled runs release solver memory
+			// as each worker exits rather than at wg.Wait.
+			sh.Release()
 		}(i, sh)
 	}
 	wg.Wait()

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
@@ -236,5 +238,62 @@ func TestScheduleCubes(t *testing.T) {
 	a, b := sum(workers[0]), sum(workers[1])
 	if a+b != 23 || a < 10 || b < 10 {
 		t.Fatalf("unbalanced schedule: %d vs %d", a, b)
+	}
+}
+
+// TestShardedCancellationReleasesWorkers is the goleak-style hygiene
+// check for the worker paths: a cancelled sharded enumeration must not
+// strand worker goroutines (they all drain through wg.Wait) and must
+// drop every cloned solver promptly (Shard.Release nils the references
+// as each worker exits). Goroutines are counted before and after with a
+// settle loop, so unrelated runtime goroutines do not flake the test.
+func TestShardedCancellationReleasesWorkers(t *testing.T) {
+	c, tests := shardScenario(t, 5, 6)
+	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, complete, _ := sess.EnumerateSharded(4, cnf.RoundOptions{MaxK: 2, Ctx: ctx, SampleCap: 1})
+		if complete {
+			t.Fatalf("iteration %d: cancelled run reported complete", i)
+		}
+	}
+	// Workers exit through wg.Wait before EnumerateSharded returns; give
+	// the runtime a few scheduling rounds to reap the exited goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled sharded runs",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardReleaseDropsClone: Release must clear the cloned session so
+// a worker's solver memory is collectable independent of the fork slice.
+func TestShardReleaseDropsClone(t *testing.T) {
+	c, tests := shardScenario(t, 11, 4)
+	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+	shards := sess.Fork(2, true)
+	for _, sh := range shards {
+		if sh.Session == nil {
+			t.Fatal("fresh shard has no session")
+		}
+		sh.Release()
+		sh.Release() // idempotent
+		if sh.Session != nil || sh.Cubes != nil {
+			t.Fatal("Release left references behind")
+		}
+	}
+	// The parent session must stay fully usable.
+	if got := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2}); got == nil {
+		t.Log("no solutions (fine) — session still usable")
 	}
 }

@@ -1,0 +1,144 @@
+// Serving-side metrics: lock-free counters, gauges and latency
+// histograms for the long-running diagnosis server (internal/service),
+// plus a minimal Prometheus-style text exposition. These complement the
+// diagnosis-quality measures in this package: quality metrics describe
+// what was diagnosed, serving metrics describe how the service behaved
+// while doing it.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depths, in-flight
+// requests, pool bytes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets are the upper bounds (inclusive) of the latency histogram
+// in seconds: exponential from 100µs to ~200s, enough resolution for
+// p50/p99 on both millisecond warm hits and multi-minute cold SAT runs.
+var histBuckets = func() []float64 {
+	b := make([]float64, 22)
+	v := 100e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. The zero value is ready to use.
+type Histogram struct {
+	counts [23]atomic.Int64 // one per bucket + overflow
+	sum    atomic.Int64     // nanoseconds
+	total  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(histBuckets, s)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the owning bucket; NaN when empty. Estimates are within one
+// bucket's resolution — adequate for the p50/p99 the server and load
+// generator report.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i, upper := range histBuckets {
+		n := h.counts[i].Load()
+		if n > 0 && float64(cum+n) >= rank {
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + frac*(upper-lower)
+		}
+		cum += n
+		lower = upper
+	}
+	// Overflow bucket: report the last finite bound.
+	return histBuckets[len(histBuckets)-1]
+}
+
+// WriteProm renders the histogram in Prometheus text format under the
+// given metric name (…_bucket/_sum/_count series).
+func (h *Histogram) WriteProm(w io.Writer, name string, labels string) {
+	var cum int64
+	for i, upper := range histBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix(labels), fmtBound(upper), cum)
+	}
+	cum += h.counts[len(histBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(labels), cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func fmtBound(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// WritePromValue renders one plain counter/gauge sample line.
+func WritePromValue(w io.Writer, name, labels string, value int64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, value)
+}
+
+// Escape sanitizes a label value for the text exposition.
+func Escape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

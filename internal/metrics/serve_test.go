@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge %d, want 0", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge %d, want 42", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram should report NaN")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.0004 || p50 > 0.004 {
+		t.Fatalf("p50 %.6fs not near 1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 0.05 || p99 > 0.3 {
+		t.Fatalf("p99 %.6fs not near 100ms", p99)
+	}
+	if h.Sum() < 1*time.Second || h.Sum() > 1200*time.Millisecond {
+		t.Fatalf("sum %v", h.Sum())
+	}
+}
+
+func TestHistogramOverflowAndProm(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Minute) // beyond the last bucket
+	h.Observe(time.Millisecond)
+	if v := h.Quantile(0.99); v <= 0 {
+		t.Fatalf("overflow quantile %v", v)
+	}
+	var sb strings.Builder
+	h.WriteProm(&sb, "req_seconds", `mode="warm"`)
+	out := sb.String()
+	for _, want := range []string{
+		`req_seconds_bucket{mode="warm",le="+Inf"} 2`,
+		`req_seconds_count{mode="warm"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	WritePromValue(&sb2, "pool_hits", "", 7)
+	if got := sb2.String(); got != "pool_hits 7\n" {
+		t.Fatalf("plain sample %q", got)
+	}
+	if Escape("a\"b\nc") != `a\"b\nc` {
+		t.Fatalf("escape: %q", Escape("a\"b\nc"))
+	}
+}

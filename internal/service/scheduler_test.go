@@ -1,0 +1,140 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestSchedulerBackpressure: with one worker and a one-deep queue, a
+// third concurrent request must be rejected immediately.
+func TestSchedulerBackpressure(t *testing.T) {
+	s := service.NewScheduler(service.SchedulerOptions{Workers: 1, Queue: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Do(context.Background(), func(context.Context) {
+			close(started)
+			<-release
+		})
+	}()
+	<-started // worker busy
+
+	// Queue slot: admitted, waits behind the busy worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.Do(context.Background(), func(context.Context) {}); err != nil {
+			t.Errorf("queued task failed: %v", err)
+		}
+	}()
+	// Wait until the slot is provably occupied, then the next
+	// submission must bounce instead of blocking.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Queued.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Do(context.Background(), func(context.Context) {}); !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
+	}
+	if s.Rejected.Value() == 0 {
+		t.Fatal("rejection not counted")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestSchedulerQueuedExpiry: a request whose context dies while queued
+// is skipped, not executed.
+func TestSchedulerQueuedExpiry(t *testing.T) {
+	s := service.NewScheduler(service.SchedulerOptions{Workers: 1, Queue: 4})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Do(ctx, func(context.Context) { ran = true })
+	}()
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("expired queued task was executed")
+	}
+}
+
+// TestSchedulerDrain: drain finishes admitted work, then refuses more.
+func TestSchedulerDrain(t *testing.T) {
+	s := service.NewScheduler(service.SchedulerOptions{Workers: 2, Queue: 8})
+	var done int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Do(context.Background(), func(context.Context) {
+				time.Sleep(5 * time.Millisecond)
+				mu.Lock()
+				done++
+				mu.Unlock()
+			})
+		}()
+	}
+	// Give the submissions a moment to be admitted.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	mu.Lock()
+	n := done
+	mu.Unlock()
+	if n != 6 {
+		t.Fatalf("drain completed %d/6 admitted tasks", n)
+	}
+	if err := s.Do(context.Background(), func(context.Context) {}); !errors.Is(err, service.ErrDraining) {
+		t.Fatalf("post-drain Do returned %v, want ErrDraining", err)
+	}
+}
+
+// TestSchedulerRequestContext: budget clamping and defaulting.
+func TestSchedulerRequestContext(t *testing.T) {
+	s := service.NewScheduler(service.SchedulerOptions{
+		Workers: 1, Queue: 1,
+		DefaultTimeout: 50 * time.Millisecond,
+		MaxTimeout:     100 * time.Millisecond,
+	})
+	ctx, cancel := s.RequestContext(context.Background(), 0)
+	defer cancel()
+	if dl, ok := ctx.Deadline(); !ok || time.Until(dl) > 110*time.Millisecond {
+		t.Fatalf("default budget not applied: %v %v", dl, ok)
+	}
+	ctx2, cancel2 := s.RequestContext(context.Background(), time.Hour)
+	defer cancel2()
+	dl, ok := ctx2.Deadline()
+	if !ok || time.Until(dl) > 110*time.Millisecond {
+		t.Fatalf("budget not clamped to MaxTimeout: %v", dl)
+	}
+}

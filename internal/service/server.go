@@ -1,0 +1,679 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/tgen"
+)
+
+// DefaultWarmMaxK is the ladder headroom warm sessions are built with:
+// requests up to this correction size share one session without ever
+// rebuilding the ladder. Larger k triggers one rebuild that then serves
+// that k warmly too.
+const DefaultWarmMaxK = 4
+
+// maxBodyBytes bounds request bodies (.bench netlists dominate).
+const maxBodyBytes = 64 << 20
+
+// Options configures a Server.
+type Options struct {
+	Pool      PoolOptions
+	Scheduler SchedulerOptions
+}
+
+// Server is the diagnosis service: session pool + scheduler + the JSON
+// handlers. Create with NewServer, mount via Handler.
+type Server struct {
+	pool  *SessionPool
+	sched *Scheduler
+	start time.Time
+
+	requests  metrics.Counter
+	failures  metrics.Counter
+	latencies map[string]*metrics.Histogram // by response mode
+}
+
+// NewServer assembles a service instance.
+func NewServer(opts Options) *Server {
+	return &Server{
+		pool:  NewSessionPool(opts.Pool),
+		sched: NewScheduler(opts.Scheduler),
+		start: time.Now(),
+		latencies: map[string]*metrics.Histogram{
+			"cold":        new(metrics.Histogram),
+			"warm":        new(metrics.Histogram),
+			"incremental": new(metrics.Histogram),
+		},
+	}
+}
+
+// Pool exposes the session pool (tests and cmd wiring).
+func (s *Server) Pool() *SessionPool { return s.pool }
+
+// Scheduler exposes the scheduler (drain on shutdown).
+func (s *Server) Sched() *Scheduler { return s.sched }
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /diagnose", s.handleDiagnose)
+	mux.HandleFunc("POST /sessions/{id}/tests", s.handleSessionTests)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /scenario", s.handleScenario)
+	return mux
+}
+
+// Drain stops admission and waits for in-flight requests.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// TestJSON is one failing test triple on the wire. Vector is a 0/1
+// string with one character per primary input, in circuit input order.
+type TestJSON struct {
+	Vector string `json:"vector"`
+	Output int    `json:"output"`
+	Want   bool   `json:"want"`
+}
+
+// DiagnoseRequest is the POST /diagnose body.
+type DiagnoseRequest struct {
+	// Bench is the faulty implementation as .bench netlist text.
+	// Circuit alternatively names a synthetic-suite circuit (mostly for
+	// experiments; real deployments ship the netlist).
+	Bench   string `json:"bench,omitempty"`
+	Circuit string `json:"circuit,omitempty"`
+
+	Tests []TestJSON `json:"tests"`
+
+	// Engine names the registered procedure ("" = bsat). Mode selects
+	// the serving path: "auto" (default — warm-session path for bsat,
+	// cold otherwise), "warm" (require the pooled path), or "cold"
+	// (bypass the pool, monolithic core.Diagnose).
+	Engine string `json:"engine,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+
+	K          int   `json:"k,omitempty"`
+	Shards     int   `json:"shards,omitempty"`
+	SampleCap  int   `json:"sampleCap,omitempty"`
+	Candidates []int `json:"candidates,omitempty"`
+
+	// Fault-model knobs (part of the session key).
+	Encoding  string `json:"encoding,omitempty"` // seqcounter|totalizer|pairwise
+	ForceZero bool   `json:"forceZero,omitempty"`
+	ConeOnly  bool   `json:"coneOnly,omitempty"`
+
+	MaxSolutions int   `json:"maxSolutions,omitempty"`
+	MaxConflicts int64 `json:"maxConflicts,omitempty"`
+	TimeoutMs    int64 `json:"timeoutMs,omitempty"`
+}
+
+// SolverStatsJSON is the solver-work excerpt reported per response.
+type SolverStatsJSON struct {
+	Decisions    int64 `json:"decisions"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+}
+
+// DiagnoseResponse is the /diagnose and /sessions/{id}/tests reply.
+// Solutions is canonical (size, then lexicographic): for complete runs
+// it is byte-identical across cold, warm and incremental serving paths.
+type DiagnoseResponse struct {
+	Engine     string  `json:"engine"`
+	Mode       string  `json:"mode"` // cold | warm | incremental
+	Solutions  [][]int `json:"solutions"`
+	Complete   bool    `json:"complete"`
+	Guaranteed bool    `json:"guaranteed"`
+
+	Session   string `json:"session,omitempty"` // warm-session id for follow-ups
+	PoolHit   bool   `json:"poolHit"`
+	Rebuilt   bool   `json:"rebuilt,omitempty"`
+	Tests     int    `json:"tests"`
+	NewCopies int    `json:"newCopies,omitempty"`
+
+	Vars      int             `json:"vars,omitempty"`
+	Clauses   int             `json:"clauses,omitempty"`
+	Shards    int             `json:"shards,omitempty"`
+	Stats     SolverStatsJSON `json:"stats"`
+	ElapsedMs float64         `json:"elapsedMs"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// countShards reports the parallel enumeration stages of a run,
+// excluding the sequential sample pseudo-stage (Shard == -1) — the
+// number a client can compare against its requested shard count.
+func countShards(perShard []cnf.ShardStats) int {
+	n := 0
+	for _, st := range perShard {
+		if st.Shard >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// resolveCircuit parses the request's netlist (or generates the named
+// suite circuit) and fingerprints it.
+func resolveCircuit(req *DiagnoseRequest) (*circuit.Circuit, string, error) {
+	switch {
+	case req.Bench != "":
+		c, err := circuit.ParseBench("request", strings.NewReader(req.Bench))
+		if err != nil {
+			return nil, "", fmt.Errorf("parse bench: %w", err)
+		}
+		return c, Fingerprint(c), nil
+	case req.Circuit != "":
+		c, err := gen.ByName(req.Circuit)
+		if err != nil {
+			return nil, "", err
+		}
+		return c, Fingerprint(c), nil
+	default:
+		return nil, "", errors.New("request needs bench (netlist text) or circuit (suite name)")
+	}
+}
+
+// decodeTests validates and converts the wire tests.
+func decodeTests(c *circuit.Circuit, in []TestJSON) (circuit.TestSet, error) {
+	if len(in) == 0 {
+		return nil, errors.New("request needs a non-empty test list")
+	}
+	tests := make(circuit.TestSet, len(in))
+	for i, tj := range in {
+		if len(tj.Vector) != len(c.Inputs) {
+			return nil, fmt.Errorf("test %d: vector has %d bits, circuit has %d inputs", i, len(tj.Vector), len(c.Inputs))
+		}
+		if tj.Output < 0 || tj.Output >= len(c.Gates) {
+			return nil, fmt.Errorf("test %d: output gate %d out of range", i, tj.Output)
+		}
+		vec := make([]bool, len(tj.Vector))
+		for j, ch := range tj.Vector {
+			switch ch {
+			case '0':
+			case '1':
+				vec[j] = true
+			default:
+				return nil, fmt.Errorf("test %d: vector must be 0/1 characters", i)
+			}
+		}
+		tests[i] = circuit.Test{Vector: vec, Output: tj.Output, Want: tj.Want}
+	}
+	return tests, nil
+}
+
+func parseEncoding(name string) (cnf.CardEncoding, error) {
+	switch strings.ToLower(name) {
+	case "", "seq", "seqcounter":
+		return cnf.SeqCounter, nil
+	case "totalizer":
+		return cnf.Totalizer, nil
+	case "pairwise":
+		return cnf.Pairwise, nil
+	default:
+		return 0, fmt.Errorf("unknown encoding %q (seqcounter, totalizer, pairwise)", name)
+	}
+}
+
+func (req *DiagnoseRequest) runSpec() RunSpec {
+	k := req.K
+	if k < 1 {
+		k = 1
+	}
+	return RunSpec{
+		K:            k,
+		Shards:       req.Shards,
+		SampleCap:    req.SampleCap,
+		Candidates:   req.Candidates,
+		MaxSolutions: req.MaxSolutions,
+		MaxConflicts: req.MaxConflicts,
+	}
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req DiagnoseRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	c, fp, err := resolveCircuit(&req)
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tests, err := decodeTests(c, req.Tests)
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	encoding, err := parseEncoding(req.Encoding)
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "bsat"
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "auto"
+	}
+	warmable := engine == "bsat"
+	switch mode {
+	case "auto", "cold":
+	case "warm":
+		if !warmable {
+			s.failures.Inc()
+			writeError(w, http.StatusBadRequest, "mode warm requires engine bsat (the pooled SAT path), got %q", engine)
+			return
+		}
+	default:
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "unknown mode %q (auto, warm, cold)", mode)
+		return
+	}
+	useWarm := mode != "cold" && warmable
+
+	ctx, cancel := s.sched.RequestContext(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
+	defer cancel()
+
+	var resp *DiagnoseResponse
+	var derr error
+	start := time.Now()
+	err = s.sched.Do(ctx, func(ctx context.Context) {
+		if useWarm {
+			resp, derr = s.serveWarm(ctx, c, fp, tests, &req, encoding, engine)
+		} else {
+			resp, derr = s.serveCold(ctx, c, tests, &req, encoding, engine)
+		}
+	})
+	s.finish(w, resp, derr, err, start)
+}
+
+// serveWarm runs the pooled path: acquire (or single-flight build) the
+// warm session for the (circuit, fault-model) key and diagnose on it.
+func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, tests circuit.TestSet,
+	req *DiagnoseRequest, encoding cnf.CardEncoding, engine string) (*DiagnoseResponse, error) {
+
+	model := FaultModel{Encoding: encoding, ForceZero: req.ForceZero, ConeOnly: req.ConeOnly}
+	spec := req.runSpec()
+	key := SessionKey(fp, model)
+	entry, hit, err := s.pool.Acquire(key, func() (Built, error) {
+		maxK := spec.K
+		if maxK < DefaultWarmMaxK {
+			maxK = DefaultWarmMaxK
+		}
+		return Built{
+			Session: NewWarmSession(c, model, maxK),
+			Circuit: c,
+			Model:   model,
+			MaxK:    maxK,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Release(entry)
+	rep, err := entry.Diagnose(ctx, tests, spec)
+	if err != nil {
+		return nil, err
+	}
+	respMode := "cold"
+	if hit {
+		respMode = "warm"
+	}
+	return &DiagnoseResponse{
+		Engine:     engine,
+		Mode:       respMode,
+		Solutions:  rep.Solutions,
+		Complete:   rep.Complete,
+		Guaranteed: true,
+		Session:    entry.ID(),
+		PoolHit:    hit,
+		Rebuilt:    rep.Rebuilt,
+		Tests:      rep.Copies,
+		NewCopies:  rep.NewCopies,
+		Vars:       rep.Vars,
+		Clauses:    rep.Clauses,
+		Shards:     countShards(rep.PerShard),
+		Stats: SolverStatsJSON{
+			Decisions:    rep.Stats.Decisions,
+			Conflicts:    rep.Stats.Conflicts,
+			Propagations: rep.Stats.Propagations,
+		},
+	}, nil
+}
+
+// serveCold bypasses the pool: one monolithic core.Diagnose call.
+func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circuit.TestSet,
+	req *DiagnoseRequest, encoding cnf.CardEncoding, engine string) (*DiagnoseResponse, error) {
+
+	rep, err := core.Diagnose(ctx, core.Request{
+		Engine:       engine,
+		Circuit:      c,
+		Tests:        tests,
+		K:            req.K,
+		Shards:       req.Shards,
+		ShardSample:  req.SampleCap,
+		MaxSolutions: req.MaxSolutions,
+		MaxConflicts: req.MaxConflicts,
+		Candidates:   req.Candidates,
+		Encoding:     encoding,
+		ForceZero:    req.ForceZero,
+		ConeOnly:     req.ConeOnly,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sols := make([][]int, len(rep.Solutions))
+	for i, sol := range rep.Solutions {
+		sols[i] = sol.Gates
+	}
+	return &DiagnoseResponse{
+		Engine:     rep.Engine,
+		Mode:       "cold",
+		Solutions:  sols,
+		Complete:   rep.Complete,
+		Guaranteed: rep.Guaranteed,
+		Tests:      len(tests),
+		Vars:       rep.Vars,
+		Clauses:    rep.Clauses,
+		Shards:     countShards(rep.PerShard),
+		Stats: SolverStatsJSON{
+			Decisions:    rep.Stats.Decisions,
+			Conflicts:    rep.Stats.Conflicts,
+			Propagations: rep.Stats.Propagations,
+		},
+	}, nil
+}
+
+// SessionTestsRequest is the POST /sessions/{id}/tests body: an edit of
+// the session's current test-set plus optional knob overrides (zero
+// values inherit the previous run).
+type SessionTestsRequest struct {
+	Add    []TestJSON `json:"add,omitempty"`
+	Remove []int      `json:"remove,omitempty"` // positions in the current test list
+
+	K            int   `json:"k,omitempty"`
+	Shards       int   `json:"shards,omitempty"`
+	SampleCap    int   `json:"sampleCap,omitempty"`
+	Candidates   []int `json:"candidates,omitempty"`
+	MaxSolutions int   `json:"maxSolutions,omitempty"`
+	MaxConflicts int64 `json:"maxConflicts,omitempty"`
+	TimeoutMs    int64 `json:"timeoutMs,omitempty"`
+}
+
+func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	id := r.PathValue("id")
+	var req SessionTestsRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	entry, ok := s.pool.ByID(id)
+	if !ok {
+		s.failures.Inc()
+		writeError(w, http.StatusNotFound, "unknown session %q (evicted or never created)", id)
+		return
+	}
+	defer s.pool.Release(entry)
+	add, err := decodeAdd(entry.Circuit(), req.Add)
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec := RunSpec{
+		K:            req.K,
+		Shards:       req.Shards,
+		SampleCap:    req.SampleCap,
+		Candidates:   req.Candidates,
+		MaxSolutions: req.MaxSolutions,
+		MaxConflicts: req.MaxConflicts,
+	}
+
+	ctx, cancel := s.sched.RequestContext(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
+	defer cancel()
+
+	var resp *DiagnoseResponse
+	var derr error
+	start := time.Now()
+	err = s.sched.Do(ctx, func(ctx context.Context) {
+		rep, active, ierr := entry.Incremental(ctx, add, req.Remove, spec)
+		if ierr != nil {
+			derr = ierr
+			return
+		}
+		resp = &DiagnoseResponse{
+			Engine:     "bsat",
+			Mode:       "incremental",
+			Solutions:  rep.Solutions,
+			Complete:   rep.Complete,
+			Guaranteed: true,
+			Session:    entry.ID(),
+			PoolHit:    true,
+			Tests:      len(active),
+			NewCopies:  rep.NewCopies,
+			Vars:       rep.Vars,
+			Clauses:    rep.Clauses,
+			Shards:     countShards(rep.PerShard),
+			Stats: SolverStatsJSON{
+				Decisions:    rep.Stats.Decisions,
+				Conflicts:    rep.Stats.Conflicts,
+				Propagations: rep.Stats.Propagations,
+			},
+		}
+	})
+	s.finish(w, resp, derr, err, start)
+}
+
+// decodeAdd is decodeTests allowing an empty list (pure retractions).
+func decodeAdd(c *circuit.Circuit, in []TestJSON) (circuit.TestSet, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	return decodeTests(c, in)
+}
+
+// finish maps the (response, diagnosis error, scheduling error) triple
+// onto the wire and records latency.
+func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, schedErr error, start time.Time) {
+	elapsed := time.Since(start)
+	switch {
+	case errors.Is(schedErr, ErrOverloaded):
+		s.failures.Inc()
+		writeError(w, http.StatusTooManyRequests, "%v", schedErr)
+		return
+	case errors.Is(schedErr, ErrDraining):
+		s.failures.Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", schedErr)
+		return
+	}
+	if derr != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "%v", derr)
+		return
+	}
+	if resp == nil {
+		// Expired while queued: the worker never ran the request.
+		s.failures.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request expired before a worker picked it up: %v", schedErr)
+		return
+	}
+	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1e3
+	if h := s.latencies[resp.Mode]; h != nil {
+		h.Observe(elapsed)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthJSON is the GET /healthz reply.
+type HealthJSON struct {
+	OK       bool  `json:"ok"`
+	UptimeMs int64 `json:"uptimeMs"`
+	Sessions int   `json:"sessions"`
+	Bytes    int64 `json:"bytes"`
+	InFlight int64 `json:"inFlight"`
+	Queued   int64 `json:"queued"`
+	Workers  int   `json:"workers"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthJSON{
+		OK:       true,
+		UptimeMs: time.Since(s.start).Milliseconds(),
+		Sessions: s.pool.Len(),
+		Bytes:    s.pool.TotalBytes(),
+		InFlight: s.sched.InFlight.Value(),
+		Queued:   s.sched.Queued.Value(),
+		Workers:  s.sched.Workers(),
+	})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WritePromValue(w, "diag_requests_total", "", s.requests.Value())
+	metrics.WritePromValue(w, "diag_failures_total", "", s.failures.Value())
+	metrics.WritePromValue(w, "diag_pool_hits_total", "", s.pool.Hits.Value())
+	metrics.WritePromValue(w, "diag_pool_misses_total", "", s.pool.Misses.Value())
+	metrics.WritePromValue(w, "diag_pool_evictions_total", "", s.pool.Evictions.Value())
+	metrics.WritePromValue(w, "diag_pool_rebuilds_total", "", s.pool.Rebuilds.Value())
+	metrics.WritePromValue(w, "diag_pool_sessions", "", s.pool.Sessions.Value())
+	metrics.WritePromValue(w, "diag_pool_bytes", "", s.pool.Bytes.Value())
+	metrics.WritePromValue(w, "diag_sched_inflight", "", s.sched.InFlight.Value())
+	metrics.WritePromValue(w, "diag_sched_queued", "", s.sched.Queued.Value())
+	metrics.WritePromValue(w, "diag_sched_rejected_total", "", s.sched.Rejected.Value())
+	metrics.WritePromValue(w, "diag_sched_completed_total", "", s.sched.Completed.Value())
+	s.sched.QueueWait.WriteProm(w, "diag_queue_wait_seconds", "")
+	for mode, h := range s.latencies {
+		h.WriteProm(w, "diag_request_seconds", fmt.Sprintf("mode=%q", mode))
+	}
+	// Per-session SAT cost (satellite of cnf.DiagSession.Stats): enough
+	// for dashboards to spot a session whose clause DB or solver work is
+	// running away.
+	for _, info := range s.pool.Snapshot() {
+		l := fmt.Sprintf("session=%q", metrics.Escape(info.ID))
+		metrics.WritePromValue(w, "diag_session_bytes", l, info.Bytes)
+		metrics.WritePromValue(w, "diag_session_uses", l, info.Uses)
+		metrics.WritePromValue(w, "diag_session_copies", l, int64(info.Stats.Copies))
+		metrics.WritePromValue(w, "diag_session_vars", l, int64(info.Stats.Vars))
+		metrics.WritePromValue(w, "diag_session_clauses", l, int64(info.Stats.Clauses))
+		metrics.WritePromValue(w, "diag_session_rounds", l, int64(info.Stats.Rounds))
+		metrics.WritePromValue(w, "diag_session_budgeted_rounds", l, int64(info.Stats.BudgetedRounds))
+		metrics.WritePromValue(w, "diag_session_conflicts", l, info.Stats.Solver.Conflicts)
+		metrics.WritePromValue(w, "diag_session_decisions", l, info.Stats.Solver.Decisions)
+		metrics.WritePromValue(w, "diag_session_propagations", l, info.Stats.Solver.Propagations)
+	}
+}
+
+// ScenarioJSON is the GET /scenario reply: a self-contained faulty
+// netlist with failing tests, ready to POST to /diagnose. It exists so
+// a bare curl (or the load generator) can exercise the service without
+// local tooling.
+type ScenarioJSON struct {
+	Circuit string     `json:"circuit"`
+	Bench   string     `json:"bench"`
+	Tests   []TestJSON `json:"tests"`
+	Sites   []int      `json:"sites"` // actual injected error gates
+	K       int        `json:"k"`     // number of injected errors
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("circuit")
+	if name == "" {
+		name = "s298x"
+	}
+	inject := intParam(q.Get("inject"), 1)
+	seed := int64(intParam(q.Get("seed"), 1))
+	count := intParam(q.Get("tests"), 8)
+	golden, err := gen.ByName(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	faulty, fs, err := faults.Inject(golden, faults.Options{Count: inject, Seed: seed})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "inject: %v", err)
+		return
+	}
+	tests, err := tgen.Random(golden, faulty, tgen.Options{Count: count, Seed: seed})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "no failing tests for this scenario (try another seed): %v", err)
+		return
+	}
+	var sb strings.Builder
+	if err := circuit.WriteBench(&sb, faulty); err != nil {
+		writeError(w, http.StatusInternalServerError, "render bench: %v", err)
+		return
+	}
+	tj := make([]TestJSON, len(tests))
+	for i, t := range tests {
+		var vb strings.Builder
+		for _, b := range t.Vector {
+			if b {
+				vb.WriteByte('1')
+			} else {
+				vb.WriteByte('0')
+			}
+		}
+		tj[i] = TestJSON{Vector: vb.String(), Output: t.Output, Want: t.Want}
+	}
+	writeJSON(w, http.StatusOK, ScenarioJSON{
+		Circuit: name,
+		Bench:   sb.String(),
+		Tests:   tj,
+		Sites:   fs.Sites(),
+		K:       inject,
+	})
+}
+
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	var v int
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return def
+	}
+	return v
+}

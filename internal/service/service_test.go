@@ -1,0 +1,65 @@
+package service_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/service"
+	"repro/internal/tgen"
+)
+
+// scenario builds a small detectable faulty circuit with m failing
+// tests, scanning seeds so table-driven tests always run.
+func scenario(t *testing.T, start int64, m int) (*circuit.Circuit, circuit.TestSet) {
+	t.Helper()
+	for seed := start; seed < start+30; seed++ {
+		golden, err := gen.Generate(gen.Spec{Name: "svc", Inputs: 6, Outputs: 3, Gates: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty, _, err := faults.Inject(golden, faults.Options{Count: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tests, err := tgen.Random(golden, faulty, tgen.Options{Count: m, Seed: seed, MaxPatterns: 1 << 12})
+		if err == tgen.ErrUndetected {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return faulty, tests
+	}
+	t.Fatalf("no detectable scenario from seed %d", start)
+	return nil, nil
+}
+
+// benchText renders a circuit as .bench netlist text (the wire form).
+func benchText(t *testing.T, c *circuit.Circuit) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := circuit.WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// testJSON converts tests to the wire form.
+func testJSON(tests circuit.TestSet) []service.TestJSON {
+	out := make([]service.TestJSON, len(tests))
+	for i, tc := range tests {
+		var vb strings.Builder
+		for _, b := range tc.Vector {
+			if b {
+				vb.WriteByte('1')
+			} else {
+				vb.WriteByte('0')
+			}
+		}
+		out[i] = service.TestJSON{Vector: vb.String(), Output: tc.Output, Want: tc.Want}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// RunSpec is the per-request half of a warm diagnosis: everything that
+// is assumption-scoped (or merely a budget) on a live session. The
+// structural half lives in FaultModel.
+type RunSpec struct {
+	// K is the correction-size ladder bound (minimum 1).
+	K int
+	// Shards > 1 enumerates on that many concurrent workers over
+	// disjoint assumption cubes; the solution set is shard-count
+	// invariant. SampleCap bounds the sequential sample stage.
+	Shards    int
+	SampleCap int
+	// Candidates restricts corrections to these gate labels by
+	// assumptions (nil = all internal gates).
+	Candidates []int
+	// Budgets; zero values mean unlimited.
+	MaxSolutions int
+	MaxConflicts int64
+	Timeout      time.Duration
+}
+
+// WarmReport is the outcome of a warm or incremental run. Solutions are
+// canonical (size, then lexicographic) — for complete runs, byte-
+// identical to the monolithic core.Diagnose solution list for the same
+// circuit and active test-set.
+type WarmReport struct {
+	Solutions [][]int
+	Complete  bool
+
+	Copies    int // active test copies this run diagnosed
+	NewCopies int // copies encoded by this run (0 = fully warm replay)
+	Vars      int
+	Clauses   int
+	Stats     sat.Stats // solver work of this run only
+	PerShard  []cnf.ShardStats
+	Encode    time.Duration // time spent encoding missing copies
+	Solve     time.Duration // enumeration wall time
+	Rebuilt   bool          // the session was rebuilt for a wider ladder
+}
+
+// NewWarmSession builds the long-lived session a pool entry keeps warm:
+// guard-per-test copies (so any test subset activates by assumptions)
+// over all internal candidate gates (so any candidate restriction is an
+// assumption too).
+func NewWarmSession(c *circuit.Circuit, model FaultModel, maxK int) *cnf.DiagSession {
+	if maxK < 1 {
+		maxK = 1
+	}
+	return cnf.NewSession(c, cnf.DiagOptions{
+		MaxK:       maxK,
+		Encoding:   model.Encoding,
+		ForceZero:  model.ForceZero,
+		ConeOnly:   model.ConeOnly,
+		GuardTests: true,
+	})
+}
+
+// Diagnose runs one warm diagnosis on the pooled session: missing test
+// copies are encoded incrementally, the request's test-set is activated
+// by assumptions, and one (possibly sharded) enumeration round runs and
+// retires. The session afterwards carries the request's tests as its
+// current active set, the base the incremental endpoint edits.
+//
+// If spec.K exceeds the warm ladder's width the session is rebuilt in
+// place with the wider ladder (counted in the pool's Rebuilds); the
+// request then proceeds on the fresh session.
+func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec RunSpec) (*WarmReport, error) {
+	if spec.K < 1 {
+		spec.K = 1
+	}
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("service: warm diagnosis requires a non-empty test-set")
+	}
+	var rep *WarmReport
+	err := e.Run(func(sess *cnf.DiagSession, circ *circuit.Circuit) error {
+		rebuilt := false
+		if !sess.CanBound(spec.K) {
+			e.rebuild(NewWarmSession(circ, e.model, spec.K), spec.K)
+			sess = e.sess
+			rebuilt = true
+		}
+		active, encoded, encode := e.ensureTests(tests)
+		e.current = active
+		e.lastSpec = spec
+		r, err := diagnoseActive(ctx, sess, active, spec)
+		if err != nil {
+			return err
+		}
+		r.NewCopies = encoded
+		r.Encode = encode
+		r.Rebuilt = rebuilt
+		rep = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Incremental edits the session's current test-set — retract the listed
+// positions, append the added tests — and re-diagnoses the result. The
+// zero-valued fields of spec default to the previous run's knobs, so a
+// client can send only the edit.
+func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove []int, spec RunSpec) (*WarmReport, circuit.TestSet, error) {
+	var rep *WarmReport
+	var activeTests circuit.TestSet
+	err := e.Run(func(sess *cnf.DiagSession, circ *circuit.Circuit) error {
+		merged := e.lastSpec
+		if spec.K > 0 {
+			merged.K = spec.K
+		}
+		if merged.K < 1 {
+			merged.K = 1
+		}
+		if spec.Shards > 0 {
+			merged.Shards = spec.Shards
+		}
+		if spec.SampleCap > 0 {
+			merged.SampleCap = spec.SampleCap
+		}
+		if spec.Candidates != nil {
+			merged.Candidates = spec.Candidates
+		}
+		if spec.MaxSolutions > 0 {
+			merged.MaxSolutions = spec.MaxSolutions
+		}
+		if spec.MaxConflicts > 0 {
+			merged.MaxConflicts = spec.MaxConflicts
+		}
+		if spec.Timeout > 0 {
+			merged.Timeout = spec.Timeout
+		}
+		if !sess.CanBound(merged.K) {
+			return fmt.Errorf("service: incremental k=%d exceeds the session ladder (max %d); send a fresh /diagnose", merged.K, e.maxK)
+		}
+
+		// Retract: drop the listed positions of the current list. The
+		// copies stay encoded (retraction is pure assumption scoping);
+		// re-adding such a test later is free.
+		drop := make(map[int]bool, len(remove))
+		for _, i := range remove {
+			if i < 0 || i >= len(e.current) {
+				return fmt.Errorf("service: retract index %d out of range (current test-set has %d tests)", i, len(e.current))
+			}
+			drop[i] = true
+		}
+		next := make([]int, 0, len(e.current)+len(add))
+		for i, ci := range e.current {
+			if !drop[i] {
+				next = append(next, ci)
+			}
+		}
+		addIdx, encoded, encode := e.ensureTests(add)
+		next = append(next, addIdx...)
+		if len(next) == 0 {
+			return fmt.Errorf("service: edit leaves an empty test-set")
+		}
+		e.current = next
+		e.lastSpec = merged
+		r, err := diagnoseActive(ctx, sess, next, merged)
+		if err != nil {
+			return err
+		}
+		r.NewCopies = encoded
+		r.Encode = encode
+		rep = r
+		for _, ci := range next {
+			activeTests = append(activeTests, sess.Tests[ci])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, activeTests, nil
+}
+
+// ensureTests encodes any test not yet present and returns the copy
+// indices of all of them, in request order.
+func (e *PoolEntry) ensureTests(tests circuit.TestSet) (active []int, encoded int, encode time.Duration) {
+	start := time.Now()
+	active = make([]int, len(tests))
+	for i, t := range tests {
+		k := testKey(t)
+		idx, ok := e.testIndex[k]
+		if !ok {
+			idx = e.sess.AddTest(t)
+			e.testIndex[k] = idx
+			encoded++
+		}
+		active[i] = idx
+	}
+	if encoded > 0 {
+		encode = time.Since(start)
+	}
+	return active, encoded, encode
+}
+
+// diagnoseActive runs one enumeration round over the given active
+// copies. The projected solution space of a guard-activated,
+// assumption-restricted round is identical to a monolithic instance
+// built for exactly that test-set and candidate list (see the session
+// property tests), which is what makes warm responses byte-identical to
+// cold core.Diagnose ones.
+func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, spec RunSpec) (*WarmReport, error) {
+	rep := &WarmReport{Copies: len(active)}
+	round := cnf.RoundOptions{
+		MaxK:         spec.K,
+		Ctx:          ctx,
+		ActiveTests:  active,
+		Restrict:     spec.Candidates,
+		MaxSolutions: spec.MaxSolutions,
+		MaxConflicts: spec.MaxConflicts,
+		Timeout:      spec.Timeout,
+		SampleCap:    spec.SampleCap,
+	}
+	before := sess.Solver.Statistics()
+	start := time.Now()
+	if spec.Shards > 1 {
+		sols, complete, perShard := sess.EnumerateSharded(spec.Shards, round)
+		rep.Solutions = sols
+		rep.Complete = complete
+		rep.PerShard = perShard
+		for _, st := range perShard {
+			if st.Shard != -1 {
+				// The sample stage's work is already inside the live
+				// solver's counters; only worker clones add on top.
+				rep.Stats = rep.Stats.Add(st.Stats)
+			}
+		}
+		rep.Stats = rep.Stats.Add(sess.Solver.Statistics().Sub(before))
+	} else {
+		var sols [][]int
+		_, complete := sess.EnumerateRound(round, func(k int, gates []int) bool {
+			g := append([]int(nil), gates...)
+			sort.Ints(g)
+			sols = append(sols, g)
+			return true
+		})
+		cnf.SortSolutions(sols)
+		rep.Solutions = sols
+		rep.Complete = complete
+		rep.Stats = sess.Solver.Statistics().Sub(before)
+	}
+	rep.Solve = time.Since(start)
+	rep.Vars, rep.Clauses = sess.Size()
+	if rep.Solutions == nil {
+		rep.Solutions = [][]int{}
+	}
+	return rep, nil
+}
