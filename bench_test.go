@@ -551,6 +551,38 @@ func BenchmarkSubstrate_Validate(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverClone measures Backend.Clone on the s1423x diagnosis
+// instance (p=4, m=16 encoded test copies) — the fork every shard worker
+// and every warm-session snapshot pays. The session is driven through
+// one solve first so the keepLearnts variant clones a realistic learnt
+// database, not an empty one.
+func BenchmarkSolverClone(b *testing.B) {
+	sc := scenarioFor(b, "s1423x", 4, 1)
+	tests := sc.Tests.Prefix(16)
+	sess := cnf.NewSession(sc.Faulty, cnf.DiagOptions{MaxK: 4})
+	sess.AddTests(tests)
+	if st := sess.Solver.Solve(sess.AtMost(3)...); st == sat.StatusUnknown {
+		b.Fatal("warmup solve hit a budget")
+	}
+	vars, clauses := sess.Size()
+	for _, keep := range []bool{true, false} {
+		name := "bare"
+		if keep {
+			name = "keepLearnts"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if c := sess.Solver.Clone(keep); c == nil {
+					b.Fatal("nil clone")
+				}
+			}
+			b.ReportMetric(float64(vars), "vars")
+			b.ReportMetric(float64(clauses), "clauses")
+		})
+	}
+}
+
 func BenchmarkSubstrate_SATSolver(b *testing.B) {
 	// A moderately hard satisfiable instance: graph-coloring-flavoured
 	// random CNF built deterministically.

@@ -1,0 +1,268 @@
+package sat
+
+import "math"
+
+// The clause store is a single flat []uint32 arena. A clause is a CRef —
+// the word offset of its header — followed inline by its literals:
+//
+//	word 0: size<<1 | learnt
+//	word 1: activity (float32 bits)
+//	word 2: LBD
+//	word 3..3+size: literals (Lit values)
+//
+// Everything the CDCL hot loops chase — watch targets, reasons, the
+// learnt database — is a CRef into this one slice, so propagation walks
+// cache-local memory instead of pointer-hopping across the heap, growth
+// never invalidates references (offsets are stable where pointers would
+// not be), and Clone copies the entire clause database with one memcpy.
+//
+// Binary clauses additionally never need dereferencing on the hot path:
+// their watches embed the other literal directly (see watch below).
+
+// CRef is a clause reference: the word offset of a clause header in the
+// arena. CRefUndef is the absent clause (what a nil *clause used to be).
+type CRef uint32
+
+// CRefUndef marks "no clause" in reasons, watches and conflict returns.
+const CRefUndef CRef = ^CRef(0)
+
+const clauseHdr = 3 // header words before the literals
+
+// maxArenaWords bounds the arena so a CRef always fits in 31 bits —
+// watch entries pack the binary-clause flag into the low bit of a
+// shifted CRef. 2^31 words is an 8 GiB clause database, far beyond any
+// instance this system builds.
+const maxArenaWords = 1 << 31
+
+type clauseArena struct {
+	data []uint32
+	// wasted counts words owned by detached clauses (deleted by
+	// reduceDB/removeSatisfied, or literals dropped by level-0
+	// shrinking). Compaction reclaims them once a third of the arena is
+	// garbage.
+	wasted uint32
+}
+
+// alloc appends a clause and returns its reference. The literals are
+// copied; the caller's slice is not retained.
+func (ca *clauseArena) alloc(lits []Lit, learnt bool) CRef {
+	base := len(ca.data)
+	need := base + clauseHdr + len(lits)
+	if need > maxArenaWords {
+		panic("sat: clause arena exceeds 2^31 words")
+	}
+	if cap(ca.data) < need {
+		grown := make([]uint32, base, grow(cap(ca.data), need))
+		copy(grown, ca.data)
+		ca.data = grown
+	}
+	ca.data = ca.data[:need]
+	meta := uint32(len(lits)) << 1
+	if learnt {
+		meta |= 1
+	}
+	d := ca.data[base:need]
+	d[0] = meta
+	d[1] = 0 // activity
+	d[2] = 0 // LBD
+	for i, l := range lits {
+		d[clauseHdr+i] = uint32(l)
+	}
+	return CRef(base)
+}
+
+func grow(cur, need int) int {
+	if cur < 1024 {
+		cur = 1024
+	}
+	for cur < need {
+		cur *= 2
+	}
+	if cur > maxArenaWords {
+		cur = maxArenaWords
+	}
+	return cur
+}
+
+func (ca *clauseArena) size(c CRef) int    { return int(ca.data[c] >> 1) }
+func (ca *clauseArena) learnt(c CRef) bool { return ca.data[c]&1 != 0 }
+
+// lits returns the clause's literal words — a live view into the arena;
+// element writes (watch swaps, level-0 shrinking) update the clause in
+// place exactly as mutating clause.lits used to.
+func (ca *clauseArena) lits(c CRef) []uint32 {
+	h := uint32(c)
+	n := ca.data[h] >> 1
+	return ca.data[h+clauseHdr : h+clauseHdr+n : h+clauseHdr+n]
+}
+
+func (ca *clauseArena) act(c CRef) float32 { return math.Float32frombits(ca.data[c+1]) }
+func (ca *clauseArena) setAct(c CRef, a float32) {
+	ca.data[c+1] = math.Float32bits(a)
+}
+
+func (ca *clauseArena) lbd(c CRef) int32         { return int32(ca.data[c+2]) }
+func (ca *clauseArena) setLBD(c CRef, lbd int32) { ca.data[c+2] = uint32(lbd) }
+
+// setSize shrinks the clause to its first n literals (level-0
+// simplification); the freed tail words become garbage until compaction.
+func (ca *clauseArena) setSize(c CRef, n int) {
+	old := ca.size(c)
+	ca.data[c] = uint32(n)<<1 | ca.data[c]&1
+	if old > n {
+		ca.wasted += uint32(old - n)
+	}
+}
+
+// words is the footprint of the clause including its header.
+func (ca *clauseArena) words(c CRef) uint32 { return clauseHdr + uint32(ca.size(c)) }
+
+// free marks the clause as garbage (detached by the caller).
+func (ca *clauseArena) free(c CRef) { ca.wasted += ca.words(c) }
+
+// watch is one entry of a literal's watcher list. cw packs the CRef
+// (shifted left) with a binary-clause flag in the low bit. For binary
+// clauses blocker is the *other* literal of the clause, so propagation
+// resolves skip/enqueue/conflict without ever touching the arena — the
+// clause body is only read if the clause later appears in conflict
+// analysis as a reason. Binary and long watches share one list per
+// literal, preserving the pre-arena propagation order exactly (separate
+// binary lists would reorder enqueues and change the whole search).
+type watch struct {
+	cw      uint32
+	blocker Lit
+}
+
+func mkWatch(c CRef, blocker Lit) watch  { return watch{uint32(c) << 1, blocker} }
+func mkBinWatch(c CRef, other Lit) watch { return watch{uint32(c)<<1 | 1, other} }
+
+func (w watch) bin() bool  { return w.cw&1 != 0 }
+func (w watch) cref() CRef { return CRef(w.cw >> 1) }
+
+// maybeCompact compacts the arena once at least a third of it is
+// garbage. Compaction is invisible to the search: clause contents and
+// relative order are preserved, only offsets change, and behaviour never
+// depends on offset values.
+func (s *Solver) maybeCompact() {
+	if s.ca.wasted == 0 || uint64(s.ca.wasted)*3 < uint64(len(s.ca.data)) {
+		return
+	}
+	s.compact()
+}
+
+// compact slides every live clause down over the garbage in address
+// order (destinations never overtake unmoved sources), then relocates
+// the clause lists and reasons through the old→new offset map. Reasons
+// whose clause was deleted (level-0 entries whose satisfied reason was
+// simplified away — never dereferenced again, by the same argument that
+// let Clone drop them) are cleared to CRefUndef, which also guarantees a
+// stale reason can never collide with a live clause the way a reused
+// offset could. Watch lists are NOT fixed up here: every caller rebuilds
+// them from the clause lists afterwards, the same discipline the
+// pre-arena solver used after reduceDB/simplify. The scratch buffers are
+// solver-resident, so steady-state compaction allocates nothing.
+func (s *Solver) compact() {
+	live := append(s.relocOld[:0], s.clauses...)
+	live = append(live, s.learnts...)
+	sortCRefs(live)
+	newRefs := s.relocNew[:0]
+	var dst uint32
+	for _, cr := range live {
+		src := uint32(cr)
+		n := clauseHdr + s.ca.data[src]>>1
+		copy(s.ca.data[dst:dst+n], s.ca.data[src:src+n])
+		newRefs = append(newRefs, CRef(dst))
+		dst += n
+	}
+	s.ca.data = s.ca.data[:dst]
+	s.ca.wasted = 0
+	s.relocOld, s.relocNew = live, newRefs
+
+	reloc := func(c CRef) (CRef, bool) {
+		lo, hi := 0, len(live)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if live[mid] < c {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(live) && live[lo] == c {
+			return newRefs[lo], true
+		}
+		return CRefUndef, false
+	}
+	for i, cr := range s.clauses {
+		s.clauses[i], _ = reloc(cr)
+	}
+	for i, cr := range s.learnts {
+		s.learnts[i], _ = reloc(cr)
+	}
+	for v := range s.reason {
+		if r := s.reason[v]; r != CRefUndef {
+			if nr, ok := reloc(r); ok {
+				s.reason[v] = nr
+			} else {
+				s.reason[v] = CRefUndef
+			}
+		}
+	}
+}
+
+// sortCRefs sorts clause references ascending (allocation-free — the
+// non-capturing closure does not escape; used on the compaction path).
+func sortCRefs(cs []CRef) {
+	quickSortClauseRefs(cs, func(a, b CRef) bool { return a < b })
+}
+
+// sortClauseRefs orders learnt clauses worst-first — high LBD, then low
+// activity — with the exact pivot/partition structure the pre-arena
+// sortClauses used, so the kept half (and hence the whole search) is
+// identical.
+func sortClauseRefs(cs []CRef, ca *clauseArena) {
+	less := func(a, b CRef) bool {
+		la, lb := ca.lbd(a), ca.lbd(b)
+		if la != lb {
+			return la > lb
+		}
+		return ca.act(a) < ca.act(b)
+	}
+	quickSortClauseRefs(cs, less)
+}
+
+func quickSortClauseRefs(cs []CRef, less func(a, b CRef) bool) {
+	for len(cs) > 12 {
+		p := cs[len(cs)/2]
+		i, j := 0, len(cs)-1
+		for i <= j {
+			for less(cs[i], p) {
+				i++
+			}
+			for less(p, cs[j]) {
+				j--
+			}
+			if i <= j {
+				cs[i], cs[j] = cs[j], cs[i]
+				i++
+				j--
+			}
+		}
+		if j > len(cs)-i {
+			quickSortClauseRefs(cs[i:], less)
+			cs = cs[:j+1]
+		} else {
+			quickSortClauseRefs(cs[:j+1], less)
+			cs = cs[i:]
+		}
+	}
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && less(c, cs[j]) {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}

@@ -1,13 +1,20 @@
 package sat
 
-// Clone returns an independent snapshot of the solver: the problem
-// clause database, the variable state (level-0 assignments, VSIDS
-// activities, saved phases, decision flags) and the top-level trail are
-// deep-copied, so the clone and the original diverge freely afterwards.
-// With keepLearnts the learnt-clause database comes along too, seeding
-// the clone's search with everything the original has already deduced;
-// without it the clone restarts learning from scratch on a smaller
-// database.
+// Clone returns an independent snapshot of the solver: the clause arena,
+// the variable state (level-0 assignments, VSIDS activities, saved
+// phases, decision flags) and the top-level trail are copied, so the
+// clone and the original diverge freely afterwards. With keepLearnts the
+// learnt-clause database comes along too, seeding the clone's search
+// with everything the original has already deduced; without it the clone
+// restarts learning from scratch on a smaller database.
+//
+// Because the clause store is a flat arena and every cross-reference is
+// an offset, the whole clause database — problem clauses, learnts,
+// activities, LBDs — transfers with a single bulk copy, and the watch
+// lists transfer as one flat slab carved into per-literal views. Clone
+// is a handful of memcpys: no per-clause allocation, no pointer
+// remapping. That is what makes shard-worker forks and warm-session
+// snapshots cheap enough to take per request.
 //
 // The clone starts with fresh budgets (no conflict cap, no deadline, no
 // context) and zeroed Statistics, so per-clone work is attributable —
@@ -15,17 +22,20 @@ package sat
 // clone.
 //
 // Clone must be called between Solve calls (decision level 0). Level-0
-// reason clauses are dropped rather than remapped: conflict analysis
+// reason entries are dropped rather than carried: conflict analysis
 // never dereferences the reason of a level-0 variable (every use is
 // guarded by level > 0), and top-level trail entries are never undone.
+// Dropping them also keeps reduceDB's locked() check from pinning
+// clauses in the clone that the pre-arena Clone would not have pinned.
 func (s *Solver) Clone(keepLearnts bool) Backend {
 	if s.decisionLevel() != 0 {
 		panic("sat: Clone above decision level 0")
 	}
 	n := &Solver{
+		clauses:   append([]CRef(nil), s.clauses...),
 		assigns:   append([]LBool(nil), s.assigns...),
 		level:     append([]int32(nil), s.level...),
-		reason:    make([]*clause, len(s.reason)),
+		reason:    make([]CRef, len(s.reason)),
 		trail:     append([]Lit(nil), s.trail...),
 		qhead:     s.qhead,
 		activity:  append([]float64(nil), s.activity...),
@@ -42,22 +52,45 @@ func (s *Solver) Clone(keepLearnts bool) Backend {
 		maxLearnts:    s.maxLearnts,
 		simpDBAssigns: s.simpDBAssigns,
 	}
+	n.ca.data = append([]uint32(nil), s.ca.data...)
+	n.ca.wasted = s.ca.wasted
+	for i := range n.reason {
+		n.reason[i] = CRefUndef
+	}
 	n.order.heap = append([]Var(nil), s.order.heap...)
 	n.order.pos = append([]int32(nil), s.order.pos...)
-	n.watches = make([][]watch, len(s.watches))
-	n.clauses = make([]*clause, 0, len(s.clauses))
-	for _, c := range s.clauses {
-		nc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd}
-		n.clauses = append(n.clauses, nc)
-		n.attach(nc)
-	}
 	if keepLearnts {
-		n.learnts = make([]*clause, 0, len(s.learnts))
-		for _, c := range s.learnts {
-			nc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd, learnt: true}
-			n.learnts = append(n.learnts, nc)
-			n.attach(nc)
+		n.learnts = append([]CRef(nil), s.learnts...)
+	} else {
+		// The learnt clauses stay behind as arena garbage in the clone;
+		// compaction reclaims them once it is worth a pass.
+		for _, cr := range s.learnts {
+			n.ca.free(cr)
 		}
+	}
+
+	// Watch lists: one flat slab, carved into capacity-bounded per-literal
+	// views (three-index slices, so a list growing past its region
+	// reallocates instead of stomping its neighbour). Keeping the
+	// original's watch order also keeps its warm blockers.
+	total := 0
+	for i := range s.watches {
+		total += len(s.watches[i])
+	}
+	flat := make([]watch, 0, total)
+	n.watches = make([][]watch, len(s.watches))
+	for i, ws := range s.watches {
+		start := len(flat)
+		if keepLearnts {
+			flat = append(flat, ws...)
+		} else {
+			for _, w := range ws {
+				if !n.ca.learnt(w.cref()) {
+					flat = append(flat, w)
+				}
+			}
+		}
+		n.watches[i] = flat[start:len(flat):len(flat)]
 	}
 	return n
 }

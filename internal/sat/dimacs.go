@@ -84,9 +84,9 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 			fmt.Fprintf(bw, "%s 0\n", l)
 		}
 	}
-	for _, c := range s.clauses {
-		for _, l := range c.lits {
-			fmt.Fprintf(bw, "%s ", l)
+	for _, cr := range s.clauses {
+		for _, lw := range s.ca.lits(cr) {
+			fmt.Fprintf(bw, "%s ", Lit(lw))
 		}
 		fmt.Fprintln(bw, "0")
 	}

@@ -156,18 +156,6 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-type clause struct {
-	lits   []Lit
-	act    float32
-	lbd    int32
-	learnt bool
-}
-
-type watch struct {
-	c       *clause
-	blocker Lit
-}
-
 // luby returns the i-th element (1-based) of the Luby restart sequence
 // 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
 func luby(i int64) int64 {

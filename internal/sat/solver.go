@@ -10,14 +10,20 @@ import (
 // possibly under assumptions; read the model with Value. Clauses may be
 // added between Solve calls (the incremental usage the diagnosis
 // enumeration relies on). A Solver is not safe for concurrent use.
+//
+// Clauses live in a flat arena (see arena.go): clauses and learnts are
+// CRef offsets, watch lists hold {CRef, blocker} pairs with binary
+// clauses resolved inline, and reason is a []CRef — so the hot loops
+// never chase heap pointers and Clone is a handful of bulk copies.
 type Solver struct {
-	clauses []*clause
-	learnts []*clause
+	ca      clauseArena
+	clauses []CRef
+	learnts []CRef
 	watches [][]watch
 
 	assigns  []LBool
 	level    []int32
-	reason   []*clause
+	reason   []CRef
 	trail    []Lit
 	trailLim []int
 	qhead    int
@@ -33,6 +39,18 @@ type Solver struct {
 	seen      []byte
 	toClear   []Var
 	learntBuf []Lit
+	redStack  []redFrame // litRedundant's explicit recursion stack
+
+	// computeLBD's level-stamp buffer: stamp[level] == lbdGen marks a
+	// level as already counted for the current learnt clause, replacing
+	// the per-call map the pre-arena solver allocated.
+	lbdStamp []int64
+	lbdGen   int64
+
+	// Compaction scratch (old/new offset maps), solver-resident so
+	// steady-state reduceDB/simplify allocate nothing.
+	relocOld []CRef
+	relocNew []CRef
 
 	ok          bool
 	assumptions []Lit
@@ -76,7 +94,7 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, LUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, CRefUndef)
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, true) // default phase: negative (MiniSat style)
 	s.decision = append(s.decision, true)
@@ -194,13 +212,13 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(out[0], CRefUndef)
+		s.ok = s.propagate() == CRefUndef
 		return s.ok
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
-	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	cr := s.ca.alloc(out, false)
+	s.clauses = append(s.clauses, cr)
+	s.attach(cr)
 	return true
 }
 
@@ -216,12 +234,22 @@ func insertionSortLits(ls []Lit) {
 	}
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watch{c, c.lits[1]})
-	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watch{c, c.lits[0]})
+// attach installs the clause's two watches. Binary clauses get inline
+// watches carrying the other literal, so propagating them never reads
+// the arena.
+func (s *Solver) attach(cr CRef) {
+	lits := s.ca.lits(cr)
+	l0, l1 := Lit(lits[0]), Lit(lits[1])
+	if len(lits) == 2 {
+		s.watches[l0.Neg()] = append(s.watches[l0.Neg()], mkBinWatch(cr, l1))
+		s.watches[l1.Neg()] = append(s.watches[l1.Neg()], mkBinWatch(cr, l0))
+		return
+	}
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], mkWatch(cr, l1))
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], mkWatch(cr, l0))
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from CRef) {
 	v := l.Var()
 	if l.Sign() {
 		s.assigns[v] = LFalse
@@ -233,10 +261,10 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation over the trail; it returns a
-// conflicting clause or nil.
-func (s *Solver) propagate() *clause {
-	var confl *clause
+// propagate performs unit propagation over the trail; it returns the
+// conflicting clause or CRefUndef.
+func (s *Solver) propagate() CRef {
+	confl := CRefUndef
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -251,32 +279,50 @@ func (s *Solver) propagate() *clause {
 				n++
 				continue
 			}
-			c := w.c
-			lits := c.lits
+			if w.bin() {
+				// blocker is the other literal and it is not true: the
+				// clause is unit or conflicting, with no arena access.
+				ws[n] = w
+				n++
+				if s.value(w.blocker) == LFalse {
+					confl = w.cref()
+					s.qhead = len(s.trail)
+					for i++; i < len(ws); i++ {
+						ws[n] = ws[i]
+						n++
+					}
+					break
+				}
+				s.uncheckedEnqueue(w.blocker, w.cref())
+				continue
+			}
+			cr := w.cref()
+			lits := s.ca.lits(cr)
 			// Ensure the falsified literal ~p sits at position 1.
 			np := p.Neg()
-			if lits[0] == np {
-				lits[0], lits[1] = lits[1], np
+			if Lit(lits[0]) == np {
+				lits[0], lits[1] = lits[1], uint32(np)
 			}
-			first := lits[0]
+			first := Lit(lits[0])
 			if first != w.blocker && s.value(first) == LTrue {
-				ws[n] = watch{c, first}
+				ws[n] = mkWatch(cr, first)
 				n++
 				continue
 			}
 			// Look for a non-false replacement watch.
 			for k := 2; k < len(lits); k++ {
-				if s.value(lits[k]) != LFalse {
+				if s.value(Lit(lits[k])) != LFalse {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watch{c, first})
+					nl := Lit(lits[1]).Neg()
+					s.watches[nl] = append(s.watches[nl], mkWatch(cr, first))
 					continue nextWatch
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[n] = watch{c, first}
+			ws[n] = mkWatch(cr, first)
 			n++
 			if s.value(first) == LFalse {
-				confl = c
+				confl = cr
 				s.qhead = len(s.trail)
 				// Keep remaining watches.
 				for i++; i < len(ws); i++ {
@@ -285,14 +331,14 @@ func (s *Solver) propagate() *clause {
 				}
 				break
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, cr)
 		}
 		s.watches[p] = ws[:n]
-		if confl != nil {
+		if confl != CRefUndef {
 			return confl
 		}
 	}
-	return nil
+	return CRefUndef
 }
 
 func (s *Solver) newDecisionLevel() {
@@ -310,7 +356,7 @@ func (s *Solver) cancelUntil(lvl int) {
 			s.polarity[v] = s.assigns[v] == LFalse
 		}
 		s.assigns[v] = LUndef
-		s.reason[v] = nil
+		s.reason[v] = CRefUndef
 		s.order.insert(v, s.activity)
 	}
 	s.trail = s.trail[:bound]
@@ -329,11 +375,12 @@ func (s *Solver) bumpVarBy(v Var, inc float64) {
 	s.order.update(v, s.activity)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += float32(s.clauseInc)
-	if c.act > 1e20 {
-		for _, l := range s.learnts {
-			l.act *= 1e-20
+func (s *Solver) bumpClause(cr CRef) {
+	a := s.ca.act(cr) + float32(s.clauseInc)
+	s.ca.setAct(cr, a)
+	if a > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setAct(lr, s.ca.act(lr)*1e-20)
 		}
 		s.clauseInc *= 1e-20
 	}
@@ -344,9 +391,21 @@ const (
 	clauseDecay = 1 / 0.999
 )
 
+// normReason returns cr's literals with lits[0] swapped to p, the
+// literal the clause implied. Long clauses already satisfy the invariant
+// (propagate swaps before enqueueing); only binary clauses can be out of
+// order, because their fast path enqueues without touching the arena.
+func (s *Solver) normReason(cr CRef, p Lit) []uint32 {
+	lits := s.ca.lits(cr)
+	if Lit(lits[0]) != p {
+		lits[0], lits[1] = lits[1], lits[0]
+	}
+	return lits
+}
+
 // analyze performs first-UIP conflict analysis, returning the learnt
 // clause (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+func (s *Solver) analyze(confl CRef) ([]Lit, int) {
 	learnt := append(s.learntBuf[:0], LitUndef) // placeholder for the asserting literal
 	pathC := 0
 	p := LitUndef
@@ -354,11 +413,16 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 
 	for {
 		s.bumpClause(confl)
+		var lits []uint32
 		start := 0
 		if p != LitUndef {
 			start = 1
+			lits = s.normReason(confl, p)
+		} else {
+			lits = s.ca.lits(confl)
 		}
-		for _, q := range confl.lits[start:] {
+		for _, qw := range lits[start:] {
+			q := Lit(qw)
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.seen[v] = 1
@@ -397,7 +461,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		}
 		n := 1
 		for _, l := range learnt[1:] {
-			if s.reason[l.Var()] == nil || !s.litRedundant(l, mask) {
+			if s.reason[l.Var()] == CRefUndef || !s.litRedundant(l, mask) {
 				learnt[n] = l
 				n++
 			} else {
@@ -426,127 +490,124 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	return learnt, bt
 }
 
-// litRedundant checks (recursively, with an explicit stack) whether l is
-// implied by seen literals, so it can be removed from the learnt clause.
+type redFrame struct {
+	c CRef
+	i int
+}
+
+// litRedundant checks (recursively, with an explicit solver-resident
+// stack) whether l is implied by seen literals, so it can be removed
+// from the learnt clause.
 func (s *Solver) litRedundant(l Lit, mask uint32) bool {
-	type frame struct {
-		c *clause
-		i int
-	}
-	stack := []frame{{s.reason[l.Var()], 1}}
+	// Frames iterate reason clauses from position 1: normReason places
+	// the implied literal at position 0 first (binary reasons are stored
+	// unswapped by the fast path).
+	s.normReason(s.reason[l.Var()], l.Neg())
+	stack := append(s.redStack[:0], redFrame{s.reason[l.Var()], 1})
 	top := len(s.toClear)
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		if f.i >= len(f.c.lits) {
+		lits := s.ca.lits(f.c)
+		if f.i >= len(lits) {
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		q := f.c.lits[f.i]
+		q := Lit(lits[f.i])
 		f.i++
 		v := q.Var()
 		if s.seen[v] != 0 || s.level[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil || !s.abstractLevelOK(v, mask) {
+		if s.reason[v] == CRefUndef || !s.abstractLevelOK(v, mask) {
 			// Not removable: undo the tentative marks.
 			for _, u := range s.toClear[top:] {
 				s.seen[u] = 0
 			}
 			s.toClear = s.toClear[:top]
+			s.redStack = stack[:0]
 			return false
 		}
 		s.seen[v] = 1
 		s.toClear = append(s.toClear, v)
-		stack = append(stack, frame{s.reason[v], 1})
+		s.normReason(s.reason[v], MkLit(v, s.assigns[v] == LFalse))
+		stack = append(stack, redFrame{s.reason[v], 1})
 	}
+	s.redStack = stack[:0]
 	return true
 }
 
+// computeLBD counts the distinct decision levels among lits using a
+// solver-resident stamp buffer — zero allocations per learnt clause
+// (the pre-arena version built a map per call).
 func (s *Solver) computeLBD(lits []Lit) int32 {
-	s2 := make(map[int32]struct{}, 8)
+	s.lbdGen++
+	var n int32
 	for _, l := range lits {
-		s2[s.level[l.Var()]] = struct{}{}
+		lev := int(s.level[l.Var()])
+		for lev >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if s.lbdStamp[lev] != s.lbdGen {
+			s.lbdStamp[lev] = s.lbdGen
+			n++
+		}
 	}
-	return int32(len(s2))
+	return n
+}
+
+// locked reports whether cr is the live reason of an assigned variable
+// (reason clauses must survive reduceDB). Long clauses keep the implied
+// literal at position 0 (propagate's swap), but binary clauses may not:
+// their fast path enqueues without touching the arena and the lazy
+// normalization only runs if the clause reaches conflict analysis — so
+// for size-2 clauses both literals are checked. Today reduceDB also
+// keeps every binary clause unconditionally; this check stays sound on
+// its own so a future policy that deletes binaries cannot free a live
+// reason.
+func (s *Solver) locked(cr CRef) bool {
+	lits := s.ca.lits(cr)
+	l0 := Lit(lits[0])
+	if s.value(l0) == LTrue && s.reason[l0.Var()] == cr {
+		return true
+	}
+	if len(lits) == 2 {
+		l1 := Lit(lits[1])
+		return s.value(l1) == LTrue && s.reason[l1.Var()] == cr
+	}
+	return false
 }
 
 // reduceDB removes roughly half of the learnt clauses, preferring high
-// LBD and low activity; reason clauses and glue clauses survive.
+// LBD and low activity; reason clauses, glue clauses and binary clauses
+// survive. The clause list is filtered in place and the arena garbage
+// is reclaimed by compaction — no reallocation, unlike the pre-arena
+// append([]*clause(nil), ...).
 func (s *Solver) reduceDB() {
 	s.Stats.Reduces++
-	locked := func(c *clause) bool {
-		return s.value(c.lits[0]) == LTrue && s.reason[c.lits[0].Var()] == c
-	}
-	sortClauses(s.learnts)
+	sortClauseRefs(s.learnts, &s.ca)
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
-	for i, c := range s.learnts {
-		if c.lbd <= 2 || locked(c) || len(c.lits) == 2 || i >= limit {
-			keep = append(keep, c)
-		}
-	}
-	s.learnts = append([]*clause(nil), keep...)
-	s.rebuildWatches()
-}
-
-// sortClauses orders worst-first: high LBD then low activity.
-func sortClauses(cs []*clause) {
-	less := func(a, b *clause) bool {
-		if a.lbd != b.lbd {
-			return a.lbd > b.lbd
-		}
-		return a.act < b.act
-	}
-	// Simple binary-insertion-free heapless sort: use sort.Slice-alike via
-	// plain quicksort to avoid reflection-heavy sort for hot path.
-	quickSortClauses(cs, less)
-}
-
-func quickSortClauses(cs []*clause, less func(a, b *clause) bool) {
-	for len(cs) > 12 {
-		p := cs[len(cs)/2]
-		i, j := 0, len(cs)-1
-		for i <= j {
-			for less(cs[i], p) {
-				i++
-			}
-			for less(p, cs[j]) {
-				j--
-			}
-			if i <= j {
-				cs[i], cs[j] = cs[j], cs[i]
-				i++
-				j--
-			}
-		}
-		if j > len(cs)-i {
-			quickSortClauses(cs[i:], less)
-			cs = cs[:j+1]
+	for i, cr := range s.learnts {
+		if s.ca.lbd(cr) <= 2 || s.locked(cr) || s.ca.size(cr) == 2 || i >= limit {
+			keep = append(keep, cr)
 		} else {
-			quickSortClauses(cs[:j+1], less)
-			cs = cs[i:]
+			s.ca.free(cr)
 		}
 	}
-	for i := 1; i < len(cs); i++ {
-		c := cs[i]
-		j := i - 1
-		for j >= 0 && less(c, cs[j]) {
-			cs[j+1] = cs[j]
-			j--
-		}
-		cs[j+1] = c
-	}
+	s.learnts = keep
+	s.maybeCompact()
+	s.rebuildWatches()
 }
 
 func (s *Solver) rebuildWatches() {
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
 	}
-	for _, c := range s.clauses {
-		s.attach(c)
+	for _, cr := range s.clauses {
+		s.attach(cr)
 	}
-	for _, c := range s.learnts {
-		s.attach(c)
+	for _, cr := range s.learnts {
+		s.attach(cr)
 	}
 }
 
@@ -564,32 +625,42 @@ func (s *Solver) simplify() {
 	s.Stats.Simplifies++
 	s.clauses = s.removeSatisfied(s.clauses)
 	s.learnts = s.removeSatisfied(s.learnts)
+	s.maybeCompact()
 	s.rebuildWatches()
 	s.simpDBAssigns = len(s.trail)
 }
 
-func (s *Solver) removeSatisfied(cs []*clause) []*clause {
+// removeSatisfied filters the clause list in place, freeing level-0
+// satisfied clauses and shrinking level-0 falsified literals beyond the
+// watched positions. Zero allocations: the list keeps its backing array
+// and the arena absorbs the garbage until compaction.
+func (s *Solver) removeSatisfied(cs []CRef) []CRef {
 	keep := cs[:0]
 outer:
-	for _, c := range cs {
-		for _, l := range c.lits {
+	for _, cr := range cs {
+		lits := s.ca.lits(cr)
+		for _, qw := range lits {
+			l := Lit(qw)
 			if s.value(l) == LTrue && s.level[l.Var()] == 0 {
+				s.ca.free(cr)
 				continue outer
 			}
 		}
 		// Drop level-0 falsified literals beyond the watched positions.
 		n := 2
-		for i := 2; i < len(c.lits); i++ {
-			l := c.lits[i]
+		for i := 2; i < len(lits); i++ {
+			l := Lit(lits[i])
 			if !(s.value(l) == LFalse && s.level[l.Var()] == 0) {
-				c.lits[n] = l
+				lits[n] = lits[i]
 				n++
 			}
 		}
-		c.lits = c.lits[:n]
-		keep = append(keep, c)
+		if n < len(lits) {
+			s.ca.setSize(cr, n)
+		}
+		keep = append(keep, cr)
 	}
-	return append([]*clause(nil), keep...)
+	return keep
 }
 
 // ctxPollConflicts is how many conflicts may pass between cancellation
@@ -647,7 +718,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.conflictSet = s.conflictSet[:0]
 	defer s.cancelUntil(0)
 
-	if s.propagate() != nil {
+	if s.propagate() != CRefUndef {
 		s.ok = false
 		return StatusUnsat
 	}
@@ -694,7 +765,7 @@ func (s *Solver) search(nConflicts int) Status {
 	conflicts := 0
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			s.Stats.Conflicts++
 			conflicts++
 			if s.ctx != nil && s.Stats.Conflicts >= s.ctxNext {
@@ -711,13 +782,14 @@ func (s *Solver) search(nConflicts int) Status {
 			learnt, bt := s.analyze(confl)
 			s.cancelUntil(bt)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], CRefUndef)
 			} else {
-				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, c)
-				s.attach(c)
-				s.bumpClause(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				cr := s.ca.alloc(learnt, true)
+				s.ca.setLBD(cr, s.computeLBD(learnt))
+				s.learnts = append(s.learnts, cr)
+				s.attach(cr)
+				s.bumpClause(cr)
+				s.uncheckedEnqueue(learnt[0], cr)
 				s.Stats.Learnt++
 				s.Stats.LearntLits += int64(len(learnt))
 			}
@@ -775,7 +847,7 @@ func (s *Solver) search(nConflicts int) Status {
 		}
 		s.Stats.Decisions++
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, CRefUndef)
 	}
 }
 
@@ -792,12 +864,14 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == CRefUndef {
 			if s.level[v] > 0 {
 				s.conflictSet = append(s.conflictSet, s.trail[i].Neg())
 			}
 		} else {
-			for _, l := range s.reason[v].lits[1:] {
+			lits := s.normReason(s.reason[v], s.trail[i])
+			for _, qw := range lits[1:] {
+				l := Lit(qw)
 				if s.level[l.Var()] > 0 {
 					s.seen[l.Var()] = 1
 				}

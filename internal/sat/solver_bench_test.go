@@ -1,0 +1,130 @@
+package sat
+
+import (
+	"testing"
+)
+
+// layeredInstance encodes a random Tseitin circuit — free inputs plus
+// AND/OR/XOR gate definitions over earlier variables — which is exactly
+// the shape of the diagnosis CNFs (gate cones + correction muxes):
+// trivially satisfiable, binary-clause-rich, and propagation-heavy.
+func layeredInstance(inputs, gates int, seed uint64) (*Solver, []Var) {
+	s := New()
+	all := make([]Var, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		all = append(all, s.NewVar())
+	}
+	rng := xorshift(seed)
+	for g := 0; g < gates; g++ {
+		a := MkLit(all[rng.next(len(all))], rng.next(2) == 1)
+		b := MkLit(all[rng.next(len(all))], rng.next(2) == 1)
+		x := s.NewVar()
+		switch rng.next(3) {
+		case 0: // x <-> a & b
+			s.AddClause(NegLit(x), a)
+			s.AddClause(NegLit(x), b)
+			s.AddClause(PosLit(x), a.Neg(), b.Neg())
+		case 1: // x <-> a | b
+			s.AddClause(PosLit(x), a.Neg())
+			s.AddClause(PosLit(x), b.Neg())
+			s.AddClause(NegLit(x), a, b)
+		default: // x <-> a ^ b
+			s.AddClause(NegLit(x), a, b)
+			s.AddClause(NegLit(x), a.Neg(), b.Neg())
+			s.AddClause(PosLit(x), a.Neg(), b)
+			s.AddClause(PosLit(x), a, b.Neg())
+		}
+		all = append(all, x)
+	}
+	return s, all
+}
+
+// BenchmarkPropagateHot measures the steady-state cost of the CDCL inner
+// loop: the instance is solved once (filling learnt clauses and saved
+// phases), then every iteration re-solves under a single assumption that
+// agrees with the saved model. Phase saving replays the model without
+// conflicts, so the timed region is pure decide + propagate over the
+// full clause database — the hot loop every diagnosis engine bottlenecks
+// on. Must report 0 allocs/op: watch lists, trail and model buffers are
+// all resident.
+func BenchmarkPropagateHot(b *testing.B) {
+	run := func(b *testing.B, s *Solver, vars []Var) {
+		if st := s.Solve(); st != StatusSat {
+			b.Skipf("instance not SAT: %v", st)
+		}
+		assumps := make([]Lit, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := vars[i%len(vars)]
+			assumps[0] = MkLit(v, s.Value(v) == LFalse)
+			if s.Solve(assumps...) != StatusSat {
+				b.Fatal("model replay hit a conflict")
+			}
+		}
+		b.ReportMetric(float64(s.Stats.Propagations)/float64(b.N), "props/op")
+	}
+	b.Run("rand3sat/nv1000", func(b *testing.B) {
+		s, vars := randomInstance(1000, 0x2545F4914F6CDD1D)
+		run(b, s, vars)
+	})
+	b.Run("circuit/g20000", func(b *testing.B) {
+		s, vars := layeredInstance(64, 20000, 0x9E3779B97F4A7C15)
+		run(b, s, vars)
+	})
+}
+
+// BenchmarkAnalyzeHot drives the conflict-analysis path: a bounded solve
+// on an unsatisfiable core keeps the solver learning (and, with the low
+// learnt cap, reducing) forever. Pre-arena this allocated one clause
+// object plus one literal slice per learnt; with the arena, steady-state
+// allocations come only from arena growth, which compaction bounds.
+func BenchmarkAnalyzeHot(b *testing.B) {
+	s := pigeonhole(10, 9)
+	s.maxLearnts = 200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MaxConflicts = 200
+		if st := s.Solve(); st == StatusSat {
+			b.Fatal("PHP cannot be SAT")
+		}
+		if !s.ok {
+			b.Fatal("bounded solve decided the instance") // keep it running forever
+		}
+	}
+	b.ReportMetric(float64(s.Stats.Learnt)/float64(b.N), "learnts/op")
+}
+
+// BenchmarkCloneMicro isolates Clone on bare (circuit-free) instances;
+// the end-to-end diagnosis clone cost is BenchmarkSolverClone at the
+// repository root.
+func BenchmarkCloneMicro(b *testing.B) {
+	instances := []struct {
+		name  string
+		build func() *Solver
+	}{
+		{"rand3sat/nv1000", func() *Solver { s, _ := randomInstance(1000, 0x9E3779B97F4A7C15); return s }},
+		{"circuit/g20000", func() *Solver { s, _ := layeredInstance(64, 20000, 0x2545F4914F6CDD1D); return s }},
+	}
+	for _, inst := range instances {
+		s := inst.build()
+		if st := s.Solve(); st == StatusUnknown {
+			b.Fatal("budget hit")
+		}
+		for _, keep := range []bool{true, false} {
+			name := inst.name + "/bare"
+			if keep {
+				name = inst.name + "/keepLearnts"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if c := s.Clone(keep); c == nil {
+						b.Fatal("nil clone")
+					}
+				}
+			})
+		}
+	}
+}
