@@ -12,10 +12,16 @@
 //	diagload -compare -circuits s1423x -tests 16 -inject 2
 //	    cold vs warm vs incremental latency on one workload (the
 //	    Table 2 amortization measurement)
+//	diagload -chaos
+//	    drive a failpoint-armed server (diagserver -failpoints ...) and
+//	    assert the fault-tolerance contract: no 5xx escapes the
+//	    recovery layers and every complete=true response is
+//	    byte-identical to a locally computed fault-free diagnosis
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/service"
@@ -71,6 +78,7 @@ func main() {
 		minSpeed = flag.Float64("min-speedup", 0, "-compare exits non-zero when warm speedup is below this")
 		smoke    = flag.Bool("smoke", false, "cold+warm smoke: assert the warm request hits the pool")
 		compare  = flag.Bool("compare", false, "measure cold vs warm vs incremental latency")
+		chaos    = flag.Bool("chaos", false, "fault-tolerance gate against a failpoint-armed server")
 	)
 	flag.Parse()
 
@@ -100,6 +108,8 @@ func main() {
 		err = runSmoke(cfg)
 	case *compare:
 		err = runCompare(cfg)
+	case *chaos:
+		err = runChaos(cfg)
 	default:
 		err = runLoad(cfg)
 	}
@@ -402,6 +412,182 @@ func runSmoke(cfg config) error {
 	}
 	fmt.Fprintf(cfg.out, "smoke ok: %s cold %.1fms -> warm %.1fms (pool hit, %d solutions identical)\n",
 		wl.name, cold.ElapsedMs, warm.ElapsedMs, len(warm.Solutions))
+	return nil
+}
+
+// postJSONStatus is postJSON that surfaces the HTTP status instead of
+// treating non-200 as a transport error — chaos runs expect shedding
+// (429/503) and degraded answers and must count them, not die on them.
+func postJSONStatus[T any](base, path string, body any) (int, T, error) {
+	var out T
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, out, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, out, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, out, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return resp.StatusCode, out, fmt.Errorf("%s: decode: %w", path, err)
+		}
+	}
+	return resp.StatusCode, out, nil
+}
+
+// localTruth computes the fault-free diagnosis for a workload in this
+// process (no failpoints armed here), on the server's view of the
+// circuit — the equivalence baseline for completed chaos responses.
+func localTruth(wl workload, k int) (string, error) {
+	c, err := circuit.ParseBench(wl.name, strings.NewReader(wl.bench))
+	if err != nil {
+		return "", err
+	}
+	tests := make(circuit.TestSet, len(wl.tests))
+	for i, tj := range wl.tests {
+		vec := make([]bool, len(tj.Vector))
+		for j, ch := range tj.Vector {
+			vec[j] = ch == '1'
+		}
+		tests[i] = circuit.Test{Vector: vec, Output: tj.Output, Want: tj.Want}
+	}
+	rep, err := core.Diagnose(context.Background(), core.Request{
+		Engine: "bsat", Circuit: c, Tests: tests, K: k,
+	})
+	if err != nil {
+		return "", err
+	}
+	if !rep.Complete {
+		return "", fmt.Errorf("%s: local baseline incomplete", wl.name)
+	}
+	sols := make([][]int, len(rep.Solutions))
+	for i, s := range rep.Solutions {
+		sols[i] = s.Gates
+	}
+	b, err := json.Marshal(sols)
+	return string(b), err
+}
+
+// runChaos is the fault-tolerance gate: replay mixed traffic against a
+// server started with -failpoints and assert (1) zero 5xx — every
+// injected panic was recovered, (2) every complete=true response is
+// byte-identical to the local fault-free baseline, (3) the failpoints
+// actually fired (visible in the fault counters), and (4) the server
+// still reports live afterwards.
+func runChaos(cfg config) error {
+	loads, err := prepare(cfg)
+	if err != nil {
+		return err
+	}
+	want := make([]string, len(loads))
+	for i, wl := range loads {
+		if want[i], err = localTruth(wl, cfg.k); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(cfg.out, "chaos: %d circuits, %d requests, %d clients, shards=%v\n",
+		len(loads), cfg.n, cfg.clients, cfg.shards)
+
+	var mu sync.Mutex
+	codes := map[int]int{}
+	completed, degraded := 0, 0
+	var mismatches []string
+	var transport []error
+
+	var idx struct {
+		sync.Mutex
+		next int
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+			for {
+				idx.Lock()
+				i := idx.next
+				idx.next++
+				idx.Unlock()
+				if i >= cfg.n {
+					return
+				}
+				li := r.Intn(len(loads))
+				wl := loads[li]
+				mode := ""
+				if cfg.coldFrac > 0 && r.Float64() < cfg.coldFrac {
+					mode = "cold"
+				}
+				shards := cfg.shards[r.Intn(len(cfg.shards))]
+				req := cfg.request(wl, mode, cfg.engines[r.Intn(len(cfg.engines))], shards)
+				// A minimal sample stage pushes sharded work onto the
+				// cube workers, where the cnf/cube failpoints live.
+				req.SampleCap = 1
+				code, resp, err := postJSONStatus[service.DiagnoseResponse](
+					cfg.addr, "/diagnose", req)
+				mu.Lock()
+				switch {
+				case err != nil:
+					transport = append(transport, err)
+				case code != http.StatusOK:
+					codes[code]++
+				case resp.Complete:
+					completed++
+					codes[code]++
+					if got, _ := json.Marshal(resp.Solutions); string(got) != want[li] {
+						mismatches = append(mismatches,
+							fmt.Sprintf("%s shards=%d: %s != %s", wl.name, shards, got, want[li]))
+					}
+				default:
+					degraded++
+					codes[code]++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	fmt.Fprintf(cfg.out, "  status codes: %v, complete %d, degraded %d\n", codes, completed, degraded)
+	faults := int64(0)
+	for _, name := range []string{
+		"diag_panics_recovered", "diag_cube_retries", "diag_degraded_responses",
+		"diag_request_retries_total", "diag_sched_queue_timeouts_total",
+	} {
+		if v, err := fetchMetric(cfg.addr, name); err == nil {
+			fmt.Fprintf(cfg.out, "  %s %d\n", name, v)
+			faults += v
+		}
+	}
+	if len(transport) > 0 {
+		return fmt.Errorf("chaos: %d transport errors (server died?), first: %v", len(transport), transport[0])
+	}
+	for code, n := range codes {
+		if code >= 500 && code != http.StatusServiceUnavailable && code != http.StatusGatewayTimeout {
+			return fmt.Errorf("chaos: %d responses with status %d — a panic escaped the recovery layers", n, code)
+		}
+	}
+	if completed == 0 {
+		return fmt.Errorf("chaos: no request completed — degradation swallowed the whole run")
+	}
+	if len(mismatches) > 0 {
+		return fmt.Errorf("chaos: %d completed responses diverged from the fault-free baseline, first: %s",
+			len(mismatches), mismatches[0])
+	}
+	if faults == 0 {
+		return fmt.Errorf("chaos: no fault observed in the counters — are the server's failpoints armed?")
+	}
+	if _, err := http.Get(cfg.addr + "/healthz"); err != nil {
+		return fmt.Errorf("chaos: server unreachable after run: %w", err)
+	}
+	fmt.Fprintf(cfg.out, "chaos ok: %d/%d complete and byte-identical, %d degraded, 0 unrecovered panics\n",
+		completed, cfg.n, degraded)
 	return nil
 }
 

@@ -27,11 +27,23 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/service"
 )
+
+// envInt64 reads an integer environment default for a flag.
+func envInt64(key string, def int64) int64 {
+	if s := os.Getenv(key); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
 
 func main() {
 	var (
@@ -43,8 +55,19 @@ func main() {
 		defTO    = flag.Duration("default-timeout", 2*time.Minute, "budget for requests without one")
 		maxTO    = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied budgets (0 = none)")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		failpoints = flag.String("failpoints", os.Getenv("DIAG_FAILPOINTS"),
+			"failpoint spec for chaos runs, e.g. 'cnf/cube=panic(0.1)x5' (default from DIAG_FAILPOINTS)")
+		fpSeed = flag.Int64("failpoint-seed", envInt64("DIAG_FAILPOINT_SEED", 1),
+			"deterministic failpoint seed (default from DIAG_FAILPOINT_SEED)")
 	)
 	flag.Parse()
+
+	if *failpoints != "" {
+		if err := failpoint.Enable(*failpoints, *fpSeed); err != nil {
+			log.Fatalf("-failpoints: %v", err)
+		}
+		log.Printf("failpoints armed: %s (seed %d)", *failpoints, *fpSeed)
+	}
 
 	srv := service.NewServer(service.Options{
 		Pool: service.PoolOptions{

@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sat"
@@ -50,10 +51,12 @@ func (l *Ladder) Width() int { return len(l.atLeast) }
 // AtMost returns an assumption literal enforcing that at most bound of
 // the inputs are true. Bounds at or above the ladder width (or the input
 // count) need no constraint and yield LitUndef, which Solve treats as an
-// absent assumption when filtered by the caller.
+// absent assumption when filtered by the caller. A negative bound is
+// clamped to 0, the tightest enforceable constraint — AtMost is total so
+// no caller-supplied bound can crash a shared server.
 func (l *Ladder) AtMost(bound int) sat.Lit {
 	if bound < 0 {
-		panic("cnf: negative cardinality bound")
+		bound = 0
 	}
 	if bound >= l.n || bound >= len(l.atLeast) {
 		return sat.LitUndef
@@ -61,11 +64,18 @@ func (l *Ladder) AtMost(bound int) sat.Lit {
 	return l.atLeast[bound].Neg() // ¬(≥ bound+1)
 }
 
+// ErrBadEncoding reports an out-of-range CardEncoding value. It is a
+// returned error (not a panic) so a malformed request that slips past
+// the HTTP layer's encoding validation degrades to a 4xx, never a crash.
+var ErrBadEncoding = errors.New("cnf: unknown cardinality encoding")
+
 // AddLadder builds a cardinality ladder over lits able to bound up to
 // maxBound (counter width maxBound+1), using the requested encoding.
-func AddLadder(s sat.Builder, lits []sat.Lit, maxBound int, enc CardEncoding) *Ladder {
+// A negative maxBound is clamped to 0 (a width-1 ladder that can still
+// enforce AtMost(0)); an unknown encoding is ErrBadEncoding.
+func AddLadder(s sat.Builder, lits []sat.Lit, maxBound int, enc CardEncoding) (*Ladder, error) {
 	if maxBound < 0 {
-		panic("cnf: negative maxBound")
+		maxBound = 0
 	}
 	width := maxBound + 1
 	if width > len(lits) {
@@ -73,13 +83,13 @@ func AddLadder(s sat.Builder, lits []sat.Lit, maxBound int, enc CardEncoding) *L
 	}
 	switch enc {
 	case SeqCounter:
-		return addSeqCounter(s, lits, width)
+		return addSeqCounter(s, lits, width), nil
 	case Totalizer:
-		return addTotalizer(s, lits, width)
+		return addTotalizer(s, lits, width), nil
 	case Pairwise:
-		return addPairwiseLadder(s, lits, width)
+		return addPairwiseLadder(s, lits, width), nil
 	default:
-		panic("cnf: unknown cardinality encoding")
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, enc)
 	}
 }
 

@@ -182,7 +182,10 @@ func popLadderCheck(t *testing.T, enc CardEncoding, n, maxBound int) {
 			for i := range lits {
 				lits[i] = sat.PosLit(s.NewVar())
 			}
-			ladder := AddLadder(s, lits, maxBound, enc)
+			ladder, err := AddLadder(s, lits, maxBound, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i, l := range lits {
 				if m>>uint(i)&1 == 1 {
 					s.AddClause(l)
@@ -221,18 +224,37 @@ func TestPairwiseExhaustive(t *testing.T) {
 func TestLadderEdgeCases(t *testing.T) {
 	s := sat.New()
 	// Empty input set.
-	l := AddLadder(s, nil, 3, SeqCounter)
+	l, err := AddLadder(s, nil, 3, SeqCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if l.AtMost(0) != sat.LitUndef {
 		t.Fatal("empty ladder should not constrain")
 	}
 	// Bound >= n needs no constraint.
 	lits := []sat.Lit{sat.PosLit(s.NewVar()), sat.PosLit(s.NewVar())}
-	l2 := AddLadder(s, lits, 5, SeqCounter)
+	l2, err := AddLadder(s, lits, 5, SeqCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if l2.AtMost(2) != sat.LitUndef || l2.AtMost(7) != sat.LitUndef {
 		t.Fatal("bound >= n should be unconstrained")
 	}
 	if l2.AtMost(1) == sat.LitUndef {
 		t.Fatal("bound 1 of 2 must constrain")
+	}
+	// A negative maxBound clamps to a width-1 ladder and a negative
+	// AtMost bound clamps to 0 — both total, neither may panic.
+	l3, err := AddLadder(s, lits, -2, SeqCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.AtMost(-1) == sat.LitUndef {
+		t.Fatal("AtMost(-1) on a width-1 ladder must constrain like AtMost(0)")
+	}
+	// An out-of-range encoding is a returned error, not a panic.
+	if _, err := AddLadder(s, lits, 2, CardEncoding(99)); err == nil {
+		t.Fatal("unknown encoding must error")
 	}
 }
 

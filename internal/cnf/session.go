@@ -2,6 +2,8 @@ package cnf
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -168,7 +170,15 @@ func NewSession(c *circuit.Circuit, opts DiagOptions) *DiagSession {
 	if maxK <= 0 {
 		maxK = 1
 	}
-	sess.Ladder = AddLadder(s, sess.Sels, maxK, opts.Encoding)
+	ladder, err := AddLadder(s, sess.Sels, maxK, opts.Encoding)
+	if err != nil {
+		// An out-of-range encoding value is a programming error (the HTTP
+		// layer validates encoding names before building DiagOptions), but
+		// a shared server must degrade, not crash: fall back to the
+		// default encoding, which is valid for every ladder shape.
+		ladder, _ = AddLadder(s, sess.Sels, maxK, SeqCounter)
+	}
+	sess.Ladder = ladder
 	sess.BuildTime += time.Since(start)
 	return sess
 }
@@ -444,7 +454,19 @@ type RoundOptions struct {
 	MaxConflicts int64
 	// Timeout bounds the whole round (0 = unlimited).
 	Timeout time.Duration
+	// MaxCubeRetries bounds how often one cube of a sharded run may be
+	// retried after a worker panic or an injected transient failure
+	// (0 = DefaultCubeRetries, negative = no retries). Ignored by
+	// EnumerateRound. A cube that exhausts its retries is abandoned and
+	// the run reports complete=false.
+	MaxCubeRetries int
 }
+
+// ErrLadderWidth reports a round limit the session's ladder cannot
+// enforce. It used to be a panic; as user input (a request's K) reaches
+// this check through the diagnosis service, it is a returned error the
+// HTTP layer maps to a 400.
+var ErrLadderWidth = errors.New("cnf: round limit exceeds the session's ladder width (rebuild the session with a larger MaxK)")
 
 // EnumerateRound runs the paper's Figure 3 enumeration as one guarded
 // round on the live session: for limits k = 1..MaxK it enumerates all
@@ -455,8 +477,10 @@ type RoundOptions struct {
 // Solver.SetBudget, and its blocking clauses are retracted before
 // returning, so consecutive rounds are independent.
 //
-// complete is true iff every limit's solution space was exhausted.
-func (sess *DiagSession) EnumerateRound(opts RoundOptions, fn func(k int, gates []int) bool) (n int, complete bool) {
+// complete is true iff every limit's solution space was exhausted. err
+// is non-nil only when the round cannot start at all (ErrLadderWidth);
+// budget and cancellation stops are incomplete rounds, not errors.
+func (sess *DiagSession) EnumerateRound(opts RoundOptions, fn func(k int, gates []int) bool) (n int, complete bool, err error) {
 	r := sess.NewRound()
 	defer r.Retire()
 	return sess.enumerateInRound(r, opts, fn)
@@ -467,13 +491,13 @@ func (sess *DiagSession) EnumerateRound(opts RoundOptions, fn func(k int, gates 
 // blocking clauses survive the call. Sharded enumeration relies on this
 // for the sample stage — clones forked afterwards inherit the blocking
 // and enumerate exactly the residual space while the guard is assumed.
-func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k int, gates []int) bool) (n int, complete bool) {
+func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k int, gates []int) bool) (n int, complete bool, err error) {
 	maxK := opts.MaxK
 	if maxK < 1 {
 		maxK = 1
 	}
 	if !sess.CanBound(maxK) {
-		panic("cnf: EnumerateRound limit exceeds the session's ladder width (rebuild with a larger MaxK)")
+		return 0, false, fmt.Errorf("%w (limit %d, ladder width %d)", ErrLadderWidth, maxK, sess.Ladder.Width())
 	}
 	sess.Solver.SetBudget(opts.MaxConflicts, opts.Timeout)
 	if opts.MaxConflicts > 0 || opts.Timeout > 0 {
@@ -493,7 +517,7 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 		if opts.MaxSolutions > 0 {
 			remaining = opts.MaxSolutions - total
 			if remaining <= 0 {
-				return total, false
+				return total, false, nil
 			}
 		}
 		assumps := append(append([]sat.Lit(nil), base...), sess.AtMost(k)...)
@@ -507,8 +531,8 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 		})
 		total += cnt
 		if !compl {
-			return total, false
+			return total, false, nil
 		}
 	}
-	return total, true
+	return total, true, nil
 }

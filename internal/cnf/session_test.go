@@ -40,10 +40,13 @@ func sessionScenario(t *testing.T, seed int64, m int) (*circuit.Circuit, circuit
 func roundKeys(t *testing.T, sess *cnf.DiagSession, opts cnf.RoundOptions) []string {
 	t.Helper()
 	var keys []string
-	_, complete := sess.EnumerateRound(opts, func(_ int, gates []int) bool {
+	_, complete, err := sess.EnumerateRound(opts, func(_ int, gates []int) bool {
 		keys = append(keys, fmt.Sprint(gates))
 		return true
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !complete {
 		t.Fatal("enumeration incomplete without budgets")
 	}
@@ -171,7 +174,7 @@ func TestSessionRoundBudgetsAreFresh(t *testing.T) {
 	want := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
 
 	// A nanosecond round times out immediately (fast-fail deadline check).
-	n, complete := sess.EnumerateRound(cnf.RoundOptions{MaxK: 2, Timeout: 1}, nil)
+	n, complete, _ := sess.EnumerateRound(cnf.RoundOptions{MaxK: 2, Timeout: 1}, nil)
 	if complete {
 		t.Skipf("nanosecond round completed anyway (%d solutions)", n)
 	}

@@ -1,12 +1,14 @@
 package cnf
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/failpoint"
 	"repro/internal/sat"
 	"repro/internal/sim"
 )
@@ -258,6 +260,17 @@ type ShardStats struct {
 	First     time.Duration // time to the stage's first solution (0 when none)
 	Elapsed   time.Duration
 	Stats     sat.Stats // this stage's solver work (clones start at zero)
+
+	// Fault-tolerance counters. A worker that panics is presumed to hold
+	// a corrupted clone and exits (Panics counts the recovered panic);
+	// the cube it was serving is requeued for a surviving worker
+	// (Retries) until its attempt budget runs out (Abandoned). Steals
+	// counts cubes this worker pulled from another worker's pending list
+	// — load balancing around stragglers and replacing dead workers.
+	Panics    int
+	Retries   int
+	Steals    int
+	Abandoned int
 }
 
 // DefaultSampleCap bounds the sequential sample stage of a sharded
@@ -301,24 +314,37 @@ const CubeOversubscription = 4
 //
 // shards <= 1 runs a plain round on the live session (no clone); the
 // output discipline is identical.
-func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [][]int, complete bool, perShard []ShardStats) {
+//
+// The worker phase is fault tolerant: a panicking worker is recovered
+// (its clone presumed corrupted, the worker retired), the cube it was
+// serving is requeued for a surviving worker, and idle workers steal
+// pending cubes from loaded or dead ones. A cube that exhausts its
+// retry budget (RoundOptions.MaxCubeRetries) is abandoned and the run
+// reports complete=false — a degraded answer, never a wrong one: a
+// completed run's merge stays byte-identical to the fault-free
+// monolithic enumeration under any failure schedule. err is non-nil
+// only when the round cannot start at all (ErrLadderWidth).
+func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [][]int, complete bool, perShard []ShardStats, err error) {
 	if shards <= 1 {
 		start := time.Now()
 		before := sess.Solver.Statistics()
 		st := ShardStats{Shard: 0, Cubes: 1}
-		_, complete = sess.EnumerateRound(opts, func(k int, gates []int) bool {
+		_, complete, err = sess.EnumerateRound(opts, func(k int, gates []int) bool {
 			if len(sols) == 0 {
 				st.First = time.Since(start)
 			}
 			sols = append(sols, sortedCopy(gates))
 			return true
 		})
+		if err != nil {
+			return nil, false, nil, err
+		}
 		SortSolutions(sols)
 		st.Solutions = len(sols)
 		st.Complete = complete
 		st.Elapsed = time.Since(start)
 		st.Stats = sess.Solver.Statistics().Sub(before)
-		return sols, complete, []ShardStats{st}
+		return sols, complete, []ShardStats{st}, nil
 	}
 
 	// Sample stage: a guarded, not-yet-retired round on the live session.
@@ -331,13 +357,16 @@ func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [
 	sampleBefore := sess.Solver.Statistics()
 	sampleStat := ShardStats{Shard: -1, Cubes: 1}
 	var sample [][]int
-	_, sampleComplete := sess.enumerateInRound(sampleRound, sampleOpts, func(k int, gates []int) bool {
+	_, sampleComplete, err := sess.enumerateInRound(sampleRound, sampleOpts, func(k int, gates []int) bool {
 		if len(sample) == 0 {
 			sampleStat.First = time.Since(sampleStart)
 		}
 		sample = append(sample, sortedCopy(gates))
 		return true
 	})
+	if err != nil {
+		return nil, false, nil, err
+	}
 	sampleStat.Solutions = len(sample)
 	sampleStat.Complete = sampleComplete
 	sampleStat.Elapsed = time.Since(sampleStart)
@@ -345,7 +374,7 @@ func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [
 	perShard = append(perShard, sampleStat)
 	if SampleSettled(sampleComplete, len(sample), sampleCap, opts.MaxSolutions) {
 		SortSolutions(sample)
-		return sample, sampleComplete, perShard
+		return sample, sampleComplete, perShard, nil
 	}
 
 	// The worker phase shares the caller's Timeout window with the
@@ -354,55 +383,236 @@ func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [
 	if opts.Timeout > 0 {
 		if workerOpts.Timeout = opts.Timeout - sampleStat.Elapsed; workerOpts.Timeout <= 0 {
 			SortSolutions(sample)
-			return sample, false, perShard
+			return sample, false, perShard, nil
 		}
 	}
 	guard := sampleRound.Guard()
-	groups, stats := sess.RunCubes(shards, workerOpts, sample, true,
+	groups, stats, drained := sess.RunCubes(shards, workerOpts, sample, true,
 		func(_ int, sh *Shard, cube Cube, budget RoundOptions) ([][]int, bool) {
 			// Caller restrictions stay in force; the cube and the sample
-			// guard are appended to them.
+			// guard are appended to them. The ladder-width error cannot
+			// fire here — the sample stage validated the same limit.
 			budget.ExtraAssumps = append(append(append([]sat.Lit(nil),
 				opts.ExtraAssumps...), cube.Assumps...), guard)
 			var local [][]int
-			_, c := sh.Session.EnumerateRound(budget, func(k int, gates []int) bool {
+			_, c, _ := sh.Session.EnumerateRound(budget, func(k int, gates []int) bool {
 				local = append(local, sortedCopy(gates))
 				return true
 			})
 			return local, c
 		})
 
-	complete = true
+	complete = drained
 	for _, st := range stats {
 		complete = complete && st.Complete
 	}
 	perShard = append(perShard, stats...)
 	sols, truncated := MergeTruncate(append([][][]int{sample}, groups...), opts.MaxSolutions)
-	return sols, complete && !truncated, perShard
+	return sols, complete && !truncated, perShard, nil
+}
+
+// DefaultCubeRetries is the default per-cube retry budget of a sharded
+// run: how often one cube may be requeued after a worker panic or an
+// injected transient failure before it is abandoned.
+const DefaultCubeRetries = 3
+
+// FailpointCube is the failpoint evaluated before every cube attempt of
+// a sharded run. An injected error or cancellation fails the attempt
+// without executing it; an injected panic unwinds through the worker's
+// recover barrier and retires the worker.
+const FailpointCube = "cnf/cube"
+
+// cubeAttempt tracks one planned cube through the work queue: its
+// scheduling home (the worker whose pending list it starts on) and how
+// many attempts have failed so far.
+type cubeAttempt struct {
+	cube  Cube
+	home  int
+	tries int
+}
+
+// cubeQueue is the shared work queue of a fault-tolerant worker phase.
+// Every worker owns a pending list (its LPT schedule), pops from it
+// first, and steals from the longest other list when its own runs dry —
+// which both balances stragglers and reassigns the load of a dead
+// worker. A popped attempt counts as inflight until it is served
+// (done), returned for retry (requeue), or given up (forfeit); next
+// blocks while cubes are inflight because a failing one may come back.
+type cubeQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  [][]*cubeAttempt
+	inflight int
+	unserved int
+	closed   bool
+}
+
+func newCubeQueue(loads [][]Cube) *cubeQueue {
+	q := &cubeQueue{pending: make([][]*cubeAttempt, len(loads))}
+	q.cond = sync.NewCond(&q.mu)
+	for w, cubes := range loads {
+		list := make([]*cubeAttempt, len(cubes))
+		for i := range cubes {
+			list[i] = &cubeAttempt{cube: cubes[i], home: w}
+		}
+		q.pending[w] = list
+	}
+	return q
+}
+
+// next blocks until an attempt is available for the worker (own list
+// first, then stolen from the longest other list — lowest index on
+// ties, deterministically), every cube is served, or the queue is
+// closed. A nil attempt means the worker is finished.
+func (q *cubeQueue) next(worker int) (att *cubeAttempt, stolen bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		if own := q.pending[worker]; len(own) > 0 {
+			q.pending[worker] = own[1:]
+			q.inflight++
+			return own[0], false
+		}
+		victim := -1
+		for w := range q.pending {
+			if len(q.pending[w]) > 0 && (victim < 0 || len(q.pending[w]) > len(q.pending[victim])) {
+				victim = w
+			}
+		}
+		if victim >= 0 {
+			att = q.pending[victim][0]
+			q.pending[victim] = q.pending[victim][1:]
+			q.inflight++
+			return att, true
+		}
+		if q.inflight == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// done marks an inflight attempt as served.
+func (q *cubeQueue) done() {
+	q.mu.Lock()
+	q.inflight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// requeue returns a failed attempt to its home list for another try;
+// the home list stays stealable even when its owner has died.
+func (q *cubeQueue) requeue(att *cubeAttempt) {
+	q.mu.Lock()
+	q.pending[att.home] = append(q.pending[att.home], att)
+	q.inflight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// forfeit drops an inflight attempt without serving it (retry budget
+// exhausted, or the shared deadline passed after the pop); the phase
+// can no longer drain.
+func (q *cubeQueue) forfeit() {
+	q.mu.Lock()
+	q.unserved++
+	q.inflight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// close aborts the phase: blocked workers return immediately and the
+// remaining cubes stay unserved.
+func (q *cubeQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// drained reports whether every planned cube was fully served.
+func (q *cubeQueue) drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.unserved > 0 || q.inflight > 0 {
+		return false
+	}
+	for _, list := range q.pending {
+		if len(list) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cubePanic wraps a value recovered from a panicking cube attempt.
+type cubePanic struct{ val any }
+
+func (p cubePanic) Error() string { return fmt.Sprintf("cnf: cube worker panicked: %v", p.val) }
+
+// runCube executes one cube attempt behind a recover barrier and the
+// FailpointCube injection point. A recovered panic comes back as a
+// cubePanic failure; an injected transient failure fails the attempt
+// before run executes, so the clone stays clean for the retry.
+func runCube(worker int, sh *Shard, cube Cube, budget RoundOptions,
+	run func(int, *Shard, Cube, RoundOptions) ([][]int, bool)) (sols [][]int, compl bool, failure error) {
+	defer func() {
+		if v := recover(); v != nil {
+			sols, compl, failure = nil, false, cubePanic{val: v}
+		}
+	}()
+	if err := failpoint.Inject(FailpointCube); err != nil {
+		return nil, false, err
+	}
+	sols, compl = run(worker, sh, cube, budget)
+	return sols, compl, nil
 }
 
 // RunCubes is the worker harness both sharded drivers (the BSAT rounds
 // above and the CEGAR loops in core) execute their cubes on: it plans
 // balanced cubes from the sample, LPT-schedules them onto `shards`
-// cloned workers, and drives `run` once per (worker, cube) — calls for
-// one worker are sequential, in its own goroutine — with stage-scoped
+// cloned workers as per-worker pending lists of a shared work queue,
+// and drives `run` once per served (worker, cube) — calls for one
+// worker are sequential, in its own goroutine — with stage-scoped
 // budgets: each cube receives the worker's remaining Timeout window and
 // remaining MaxSolutions allowance (the sample's finds count against
 // it), so a stage can never exceed the budgets the caller configured.
 // Worker goroutines are bounded by GOMAXPROCS so a saturated machine
 // runs them back to back instead of thrashing.
 //
+// The harness is fault tolerant. Each attempt runs behind a recover
+// barrier and the FailpointCube injection point; a failed attempt's
+// partial output is discarded (a retry re-enumerates the cube from
+// scratch — the canonical merge drops supersets, not duplicates) and
+// the cube is requeued up to opts.MaxCubeRetries times before it is
+// abandoned. A recovered panic additionally retires the worker — its
+// clone is presumed corrupted — and idle workers steal the pending
+// cubes of dead or lagging ones. The per-worker ShardStats account
+// every fault: Panics, Retries, Steals, Abandoned.
+//
 // run returns the cube's solutions (each a sorted gate set) and whether
 // the cube's slice was exhausted. RunCubes returns the per-worker
 // solution groups and stats (First is cube-granular; the sample stage
-// owns the true first-solution time). opts.Timeout bounds the whole
-// worker phase with one shared deadline; opts.MaxSolutions is sliced
-// per worker with the sample's finds counted against it.
+// owns the true first-solution time), plus drained: whether every
+// planned cube was fully served. Abandoned cubes, cubes stranded by
+// dead workers, and deadline leftovers all clear drained, so callers
+// must report complete = drained && every stat Complete. opts.Timeout
+// bounds the whole worker phase with one shared deadline.
 func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int, keepLearnts bool,
-	run func(worker int, sh *Shard, cube Cube, budget RoundOptions) ([][]int, bool)) (groups [][][]int, stats []ShardStats) {
+	run func(worker int, sh *Shard, cube Cube, budget RoundOptions) ([][]int, bool)) (groups [][][]int, stats []ShardStats, drained bool) {
 
 	loads := ScheduleCubes(sess.PlanCubes(sample, shards*CubeOversubscription), shards)
 	forks := sess.ForkWorkers(loads, keepLearnts)
+	queue := newCubeQueue(loads)
+	maxRetries := opts.MaxCubeRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultCubeRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
 	groups = make([][][]int, len(forks))
 	stats = make([]ShardStats, len(forks))
 	// One deadline covers the whole worker phase — not one window per
@@ -421,51 +631,70 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
+			st := ShardStats{Shard: i, Complete: true}
 			var local [][]int
 			var first time.Duration
-			compl := true
-			for _, cube := range sh.Cubes {
-				// A cancelled run must not start further cubes: without
-				// this check a worker that acquired its GOMAXPROCS slot
-				// after cancellation would still walk every cube (each
-				// solve returns quickly, but budget setup and assumption
-				// plumbing are not free across many cubes).
+			for alive := true; alive; {
+				// A cancelled run must not pop further cubes: close the
+				// queue so blocked siblings exit too. The cubes already
+				// popped abort promptly through the same ctx.
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
-					compl = false
+					st.Complete = false
+					queue.close()
+					break
+				}
+				if opts.MaxSolutions > 0 && opts.MaxSolutions-len(sample)-len(local) <= 0 {
+					st.Complete = false
+					break
+				}
+				att, stolen := queue.next(i)
+				if att == nil {
 					break
 				}
 				budget := opts
 				if !deadline.IsZero() {
 					if budget.Timeout = time.Until(deadline); budget.Timeout <= 0 {
-						compl = false
+						st.Complete = false
+						queue.forfeit()
 						break
 					}
 				}
 				if opts.MaxSolutions > 0 {
-					remaining := opts.MaxSolutions - len(sample) - len(local)
-					if remaining <= 0 {
-						compl = false
-						break
+					budget.MaxSolutions = opts.MaxSolutions - len(sample) - len(local)
+				}
+				if stolen {
+					st.Steals++
+				}
+				sols, compl, failure := runCube(i, sh, att.cube, budget, run)
+				if failure == nil {
+					st.Cubes++ // Cubes counts served attempts, not failed ones
+					if len(local) == 0 && len(sols) > 0 {
+						first = time.Since(start)
 					}
-					budget.MaxSolutions = remaining
+					local = append(local, sols...)
+					st.Complete = st.Complete && compl
+					queue.done()
+					continue
 				}
-				sols, c := run(i, sh, cube, budget)
-				if len(local) == 0 && len(sols) > 0 {
-					first = time.Since(start)
+				if _, isPanic := failure.(cubePanic); isPanic {
+					st.Panics++
+					alive = false // clone presumed corrupted; worker retires
 				}
-				local = append(local, sols...)
-				compl = compl && c
+				if att.tries++; att.tries > maxRetries {
+					st.Abandoned++
+					st.Complete = false
+					queue.forfeit()
+				} else {
+					st.Retries++
+					queue.requeue(att)
+				}
 			}
 			groups[i] = local
-			stats[i] = ShardStats{
-				Shard:     i,
-				Cubes:     len(sh.Cubes),
-				Solutions: len(local),
-				Complete:  compl,
-				First:     first,
-				Elapsed:   time.Since(start),
-				Stats:     sh.Session.Solver.Statistics(),
-			}
+			st.Solutions = len(local)
+			st.First = first
+			st.Elapsed = time.Since(start)
+			st.Stats = sh.Session.Solver.Statistics()
+			stats[i] = st
 			// The clone's work counters are captured above; drop the
 			// clone itself now so cancelled runs release solver memory
 			// as each worker exits rather than at wg.Wait.
@@ -473,7 +702,7 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 		}(i, sh)
 	}
 	wg.Wait()
-	return groups, stats
+	return groups, stats, queue.drained()
 }
 
 // EffectiveSampleCap resolves a sharded run's sample-stage bound:

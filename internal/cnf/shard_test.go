@@ -48,7 +48,10 @@ func shardScenario(t *testing.T, start int64, m int) (*circuit.Circuit, circuit.
 // SampleCap 1 forces the fork path even on small solution spaces.
 func shardedKeys(t *testing.T, sess *cnf.DiagSession, shards int, opts cnf.RoundOptions) []string {
 	t.Helper()
-	sols, complete, per := sess.EnumerateSharded(shards, opts)
+	sols, complete, per, err := sess.EnumerateSharded(shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !complete {
 		t.Fatalf("sharded enumeration (%d shards) incomplete without budgets", shards)
 	}
@@ -95,7 +98,7 @@ func TestShardedParentUnaffected(t *testing.T) {
 	c, tests := shardScenario(t, 3, 6)
 	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
 	before := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
-	if _, complete, _ := sess.EnumerateSharded(3, cnf.RoundOptions{MaxK: 2, SampleCap: 1}); !complete {
+	if _, complete, _, err := sess.EnumerateSharded(3, cnf.RoundOptions{MaxK: 2, SampleCap: 1}); err != nil || !complete {
 		t.Fatal("sharded run incomplete")
 	}
 	after := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
@@ -125,7 +128,7 @@ func TestShardCubesAreDisjoint(t *testing.T) {
 		cubes := sess.PlanCubes(plan, 3)
 		for i, sh := range sess.ForkWorkers(cnf.ScheduleCubes(cubes, 3), true) {
 			for _, cube := range sh.Cubes {
-				_, complete := sh.Session.EnumerateRound(cnf.RoundOptions{MaxK: 2, ExtraAssumps: cube.Assumps}, func(_ int, gates []int) bool {
+				_, complete, _ := sh.Session.EnumerateRound(cnf.RoundOptions{MaxK: 2, ExtraAssumps: cube.Assumps}, func(_ int, gates []int) bool {
 					g := append([]int(nil), gates...)
 					sort.Ints(g)
 					key := fmt.Sprint(g)
@@ -170,7 +173,10 @@ func TestShardedCancellation(t *testing.T) {
 	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	sols, complete, _ := sess.EnumerateSharded(2, cnf.RoundOptions{MaxK: 2, Ctx: ctx, SampleCap: 1})
+	sols, complete, _, err := sess.EnumerateSharded(2, cnf.RoundOptions{MaxK: 2, Ctx: ctx, SampleCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if complete || len(sols) != 0 {
 		t.Fatalf("cancelled sharded round: complete=%v solutions=%d", complete, len(sols))
 	}
@@ -255,7 +261,7 @@ func TestShardedCancellationReleasesWorkers(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
-		_, complete, _ := sess.EnumerateSharded(4, cnf.RoundOptions{MaxK: 2, Ctx: ctx, SampleCap: 1})
+		_, complete, _, _ := sess.EnumerateSharded(4, cnf.RoundOptions{MaxK: 2, Ctx: ctx, SampleCap: 1})
 		if complete {
 			t.Fatalf("iteration %d: cancelled run reported complete", i)
 		}

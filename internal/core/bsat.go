@@ -146,7 +146,10 @@ func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATRes
 		SampleCap:    opts.ShardSample,
 	}
 	if opts.Shards > 1 {
-		sols, complete, perShard := sess.EnumerateSharded(opts.Shards, round)
+		sols, complete, perShard, err := sess.EnumerateSharded(opts.Shards, round)
+		if err != nil {
+			return nil, err
+		}
 		for _, gates := range sols {
 			res.Solutions = append(res.Solutions, NewCorrection(gates))
 		}
@@ -168,13 +171,16 @@ func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATRes
 			}
 		}
 	} else {
-		_, complete := sess.EnumerateRound(round, func(k int, gates []int) bool {
+		_, complete, err := sess.EnumerateRound(round, func(k int, gates []int) bool {
 			if len(res.Solutions) == 0 {
 				res.Timings.One = time.Since(start)
 			}
 			res.Solutions = append(res.Solutions, NewCorrection(gates))
 			return true
 		})
+		if err != nil {
+			return nil, err
+		}
 		res.Complete = complete
 		res.Timings.All = time.Since(start)
 		res.Stats = sess.Solver.Statistics()
@@ -326,7 +332,9 @@ func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*B
 		res.Vars, res.Clauses = vars, clauses
 		before := sess.Solver.Statistics()
 		start := time.Now()
-		_, complete := sess.EnumerateRound(cnf.RoundOptions{
+		// The ladder-width error cannot fire: the session was built with
+		// MaxK = opts.K, the same limit every pass enumerates under.
+		_, complete, _ := sess.EnumerateRound(cnf.RoundOptions{
 			MaxK:         opts.K,
 			Ctx:          opts.Ctx,
 			Restrict:     cands,
@@ -422,7 +430,7 @@ func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize in
 		for i := lo; i < hi; i++ {
 			active = append(active, i)
 		}
-		_, compl := sess.EnumerateRound(cnf.RoundOptions{
+		_, compl, _ := sess.EnumerateRound(cnf.RoundOptions{
 			MaxK:         opts.K,
 			Ctx:          opts.Ctx,
 			ActiveTests:  active,

@@ -290,7 +290,7 @@ func cegarSharded(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions, s
 			return res, nil
 		}
 	}
-	groups, stats := sess.RunCubes(opts.Shards, cnf.RoundOptions{
+	groups, stats, drained := sess.RunCubes(opts.Shards, cnf.RoundOptions{
 		MaxK:         opts.K,
 		Ctx:          opts.Ctx,
 		MaxSolutions: opts.MaxSolutions,
@@ -315,7 +315,9 @@ func cegarSharded(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions, s
 		return out.solutions, out.complete
 	})
 
-	res.Complete = true
+	// drained: every planned cube was fully served despite any worker
+	// faults; abandoned or stranded cubes degrade the run to incomplete.
+	res.Complete = drained
 	res.Checked = sample.checked
 	res.Refinements = sample.refinements
 	res.Stats = sample.stats

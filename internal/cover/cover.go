@@ -153,7 +153,10 @@ func EnumerateSAT(p *Problem, opts Options) (*Result, error) {
 		}
 		s.AddClause(clause...)
 	}
-	ladder := cnf.AddLadder(s, lits, opts.MaxK, cnf.SeqCounter)
+	ladder, err := cnf.AddLadder(s, lits, opts.MaxK, cnf.SeqCounter)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{Complete: true}
 	for k := 1; k <= opts.MaxK; k++ {

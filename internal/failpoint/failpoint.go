@@ -1,0 +1,326 @@
+// Package failpoint provides named, seeded fault-injection points for
+// chaos testing the diagnosis stack. A failpoint is a call site
+// (Inject) identified by a string name; a schedule installed with
+// Enable decides, per evaluation, whether the site fires and how:
+//
+//   - panic:  Inject panics with a *Panic value (the caller's recover
+//     harness is what is under test),
+//   - error:  Inject returns an error wrapping ErrInjected (a transient
+//     failure the caller should retry),
+//   - cancel: Inject returns an error wrapping ErrCanceled (a lost or
+//     cancelled unit of work),
+//   - delay:  Inject sleeps (a straggler), then keeps evaluating the
+//     remaining terms.
+//
+// When no schedule is installed — the production default — Inject is a
+// single atomic load and nil return, so instrumented hot paths pay
+// effectively nothing. Schedules are deterministic: every point draws
+// from its own RNG seeded by the global seed and the point name, and
+// each term can cap its total fires ("xN"), so a chaos run with a fixed
+// seed injects a reproducible fault budget.
+//
+// The schedule grammar (DIAG_FAILPOINTS env var, -failpoints flag, or
+// test code) is a semicolon-separated list of terms:
+//
+//	name=kind(args)[xN]
+//
+//	cnf/cube=panic(0.2)x3          panic on 20% of draws, at most 3 times
+//	cnf/cube=error(0.5)            injected error on half the draws
+//	service/diagnose=cancel(1)x2   first two evaluations fail as cancelled
+//	cnf/cube=delay(25ms,0.3)       30% of evaluations sleep 25ms
+//
+// Repeating a name adds terms to the same point; terms are evaluated in
+// installation order and the first non-delay term that fires decides
+// the outcome.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a transient failure injected by an "error" term.
+// Callers classify it with errors.Is and should treat it as retryable.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+// ErrCanceled marks an injected cancellation ("cancel" term): the unit
+// of work was lost mid-flight and may be re-executed.
+var ErrCanceled = errors.New("failpoint: injected cancellation")
+
+// Panic is the value thrown by a "panic" term, so recover harnesses can
+// distinguish injected panics from genuine bugs in tests.
+type Panic struct{ Name string }
+
+func (p *Panic) Error() string { return "failpoint: injected panic at " + p.Name }
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+// The fault kinds of the schedule grammar.
+const (
+	KindPanic Kind = iota
+	KindError
+	KindCancel
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "error"
+	case KindCancel:
+		return "cancel"
+	case KindDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Counts reports how often each kind fired at one point.
+type Counts struct {
+	Panics, Errors, Cancels, Delays int
+}
+
+// Failures is the number of fires that failed the caller's unit of work
+// (everything but delays).
+func (c Counts) Failures() int { return c.Panics + c.Errors + c.Cancels }
+
+type term struct {
+	kind  Kind
+	prob  float64
+	sleep time.Duration
+	max   int // 0 = unlimited
+	fired int
+}
+
+type point struct {
+	mu    sync.Mutex
+	terms []*term
+	rng   *rand.Rand
+	hits  Counts
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.RWMutex
+	points  map[string]*point
+)
+
+// Enable parses and installs a schedule, replacing any previous one.
+// An empty spec disables injection entirely (same as Disable). The seed
+// makes every point's draw sequence reproducible.
+func Enable(spec string, seed int64) error {
+	parsed, err := parse(spec, seed)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	points = parsed
+	mu.Unlock()
+	enabled.Store(len(parsed) > 0)
+	return nil
+}
+
+// Disable removes the schedule; Inject reverts to the zero-cost no-op.
+func Disable() {
+	enabled.Store(false)
+	mu.Lock()
+	points = nil
+	mu.Unlock()
+}
+
+// Active reports whether a schedule is installed.
+func Active() bool { return enabled.Load() }
+
+// Inject evaluates the named failpoint under the installed schedule.
+// With no schedule, or no terms for this name, it returns nil at the
+// cost of one atomic load. Otherwise it may panic (*Panic), sleep, or
+// return an error wrapping ErrInjected / ErrCanceled.
+func Inject(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	return p.eval(name)
+}
+
+func (p *point) eval(name string) error {
+	p.mu.Lock()
+	var fire *term
+	var sleep time.Duration
+	for _, t := range p.terms {
+		if t.max > 0 && t.fired >= t.max {
+			continue
+		}
+		if t.prob < 1 && p.rng.Float64() >= t.prob {
+			continue
+		}
+		t.fired++
+		if t.kind == KindDelay {
+			// A straggler is not a failure; keep evaluating so a delay
+			// term can compose with a failure term in one schedule.
+			p.hits.Delays++
+			sleep += t.sleep
+			continue
+		}
+		fire = t
+		break
+	}
+	if fire != nil {
+		switch fire.kind {
+		case KindPanic:
+			p.hits.Panics++
+		case KindError:
+			p.hits.Errors++
+		case KindCancel:
+			p.hits.Cancels++
+		}
+	}
+	p.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fire == nil {
+		return nil
+	}
+	switch fire.kind {
+	case KindPanic:
+		panic(&Panic{Name: name})
+	case KindCancel:
+		return fmt.Errorf("%s: %w", name, ErrCanceled)
+	default:
+		return fmt.Errorf("%s: %w", name, ErrInjected)
+	}
+}
+
+// Hits returns the fire counts of the named point under the current
+// schedule (zero Counts when unknown).
+func Hits(name string) Counts {
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil {
+		return Counts{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+// IsInjected reports whether err originates from an injected failure
+// (error or cancel term) — the transient classification retry layers
+// key on.
+func IsInjected(err error) bool {
+	return err != nil && (errors.Is(err, ErrInjected) || errors.Is(err, ErrCanceled))
+}
+
+// IsPanic reports whether a recovered value is an injected panic.
+func IsPanic(v any) bool {
+	_, ok := v.(*Panic)
+	return ok
+}
+
+func parse(spec string, seed int64) (map[string]*point, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]*point)
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		name, rhs, ok := strings.Cut(raw, "=")
+		name, rhs = strings.TrimSpace(name), strings.TrimSpace(rhs)
+		if !ok || name == "" || rhs == "" {
+			return nil, fmt.Errorf("failpoint: bad term %q (want name=kind(args)[xN])", raw)
+		}
+		t, err := parseTerm(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("failpoint: %s: %w", name, err)
+		}
+		p := out[name]
+		if p == nil {
+			h := fnv.New64a()
+			h.Write([]byte(name))
+			p = &point{rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
+			out[name] = p
+		}
+		p.terms = append(p.terms, t)
+	}
+	return out, nil
+}
+
+func parseTerm(rhs string) (*term, error) {
+	// Split the optional "xN" cap off the end: kind(args)xN.
+	max := 0
+	if i := strings.LastIndex(rhs, "x"); i > 0 && !strings.ContainsAny(rhs[i:], ")") {
+		n, err := strconv.Atoi(rhs[i+1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fire cap %q", rhs[i:])
+		}
+		max = n
+		rhs = rhs[:i]
+	}
+	kindName, args := rhs, ""
+	if i := strings.Index(rhs, "("); i >= 0 {
+		if !strings.HasSuffix(rhs, ")") {
+			return nil, fmt.Errorf("unbalanced parens in %q", rhs)
+		}
+		kindName, args = rhs[:i], rhs[i+1:len(rhs)-1]
+	}
+	t := &term{prob: 1, max: max}
+	switch kindName {
+	case "panic":
+		t.kind = KindPanic
+	case "error":
+		t.kind = KindError
+	case "cancel":
+		t.kind = KindCancel
+	case "delay":
+		t.kind = KindDelay
+	default:
+		return nil, fmt.Errorf("unknown kind %q (panic, error, cancel, delay)", kindName)
+	}
+	fields := strings.Split(args, ",")
+	if args == "" {
+		fields = nil
+	}
+	if t.kind == KindDelay {
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("delay wants (duration[,prob]), got %q", args)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(fields[0]))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad delay duration %q", fields[0])
+		}
+		t.sleep = d
+		fields = fields[1:]
+	} else if len(fields) > 1 {
+		return nil, fmt.Errorf("%s wants at most (prob), got %q", kindName, args)
+	}
+	if len(fields) == 1 {
+		p, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability %q", fields[0])
+		}
+		t.prob = p
+	}
+	return t, nil
+}

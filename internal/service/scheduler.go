@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -17,6 +18,20 @@ var ErrOverloaded = errors.New("service: admission queue full")
 // ErrDraining is returned once Drain has begun; new work is refused
 // while queued work finishes.
 var ErrDraining = errors.New("service: server draining")
+
+// ErrQueueTimeout is returned when a request's deadline expired while
+// it waited in the admission queue: the worker skipped it without
+// running any diagnosis. Distinct from a deadline that fires mid-run
+// (which still yields partial results) so the HTTP layer can answer
+// 503 retry-later instead of 504.
+var ErrQueueTimeout = errors.New("service: request deadline expired while queued")
+
+// PanicError wraps a panic recovered from a request function. The
+// worker survives (the pool never shrinks from a poisoned request);
+// the caller decides how to report it.
+type PanicError struct{ Val any }
+
+func (e *PanicError) Error() string { return fmt.Sprintf("service: request panicked: %v", e.Val) }
 
 // SchedulerOptions configures a Scheduler.
 type SchedulerOptions struct {
@@ -39,6 +54,8 @@ type task struct {
 	fn       func(context.Context)
 	enqueued time.Time
 	done     chan struct{}
+	skipped  bool // deadline expired while queued; fn never ran
+	panicked any  // recovered panic value from fn, nil if none
 }
 
 // Scheduler runs submitted requests on a bounded worker pool with an
@@ -53,11 +70,13 @@ type Scheduler struct {
 	draining bool
 
 	// Serving counters, exposed on /metrics.
-	QueueWait metrics.Histogram
-	InFlight  metrics.Gauge
-	Queued    metrics.Gauge
-	Rejected  metrics.Counter
-	Completed metrics.Counter
+	QueueWait     metrics.Histogram
+	InFlight      metrics.Gauge
+	Queued        metrics.Gauge
+	Rejected      metrics.Counter
+	Completed     metrics.Counter
+	QueueTimeouts metrics.Counter
+	Panics        metrics.Counter
 }
 
 // NewScheduler starts the worker pool.
@@ -84,15 +103,32 @@ func (s *Scheduler) worker() {
 	for t := range s.tasks {
 		s.Queued.Add(-1)
 		s.QueueWait.Observe(time.Since(t.enqueued))
-		// A request whose client already gave up is not worth starting.
-		if t.ctx.Err() == nil {
+		// A request whose client already gave up is not worth starting:
+		// skip it without burning the worker slot on doomed SAT work.
+		if t.ctx.Err() != nil {
+			t.skipped = true
+			s.QueueTimeouts.Inc()
+		} else {
 			s.InFlight.Add(1)
-			t.fn(t.ctx)
+			s.runTask(t)
 			s.InFlight.Add(-1)
 			s.Completed.Inc()
 		}
 		close(t.done)
 	}
+}
+
+// runTask executes one request function, converting a panic into a
+// recorded value instead of killing the worker (and with it the whole
+// process): one poisoned request must not take the service down.
+func (s *Scheduler) runTask(t *task) {
+	defer func() {
+		if v := recover(); v != nil {
+			t.panicked = v
+			s.Panics.Inc()
+		}
+	}()
+	t.fn(t.ctx)
 }
 
 // RequestContext derives the execution context of one request from the
@@ -135,7 +171,23 @@ func (s *Scheduler) Do(ctx context.Context, fn func(context.Context)) error {
 	// same ctx and aborts promptly, and the caller must not touch the
 	// result before the worker is done with it.
 	<-t.done
+	if t.skipped {
+		// Both sentinels stay matchable: ErrQueueTimeout for the HTTP
+		// status mapping, the ctx cause for callers watching their own
+		// context.
+		return fmt.Errorf("%w: %w", ErrQueueTimeout, context.Cause(t.ctx))
+	}
+	if t.panicked != nil {
+		return &PanicError{Val: t.panicked}
+	}
 	return ctx.Err()
+}
+
+// Draining reports whether Drain has begun (readiness signal).
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Drain stops admission and waits for every admitted task to finish,

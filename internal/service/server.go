@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -26,6 +28,21 @@ const DefaultWarmMaxK = 4
 
 // maxBodyBytes bounds request bodies (.bench netlists dominate).
 const maxBodyBytes = 64 << 20
+
+// FailpointDiagnose fires once per diagnosis attempt, before any work
+// runs — an injected failure is therefore always safe to retry.
+const FailpointDiagnose = "service/diagnose"
+
+// diagnoseRetries bounds the transient-failure retry loop per request;
+// retryBackoff is the first backoff step, doubling per retry.
+const (
+	diagnoseRetries = 2
+	retryBackoff    = 5 * time.Millisecond
+)
+
+// degradedWindow is how long a recovered panic or degraded response
+// keeps /healthz reporting status "degraded".
+const degradedWindow = 30 * time.Second
 
 // Options configures a Server.
 type Options struct {
@@ -43,6 +60,17 @@ type Server struct {
 	requests  metrics.Counter
 	failures  metrics.Counter
 	latencies map[string]*metrics.Histogram // by response mode
+
+	// Fault-tolerance counters (tentpole of the robustness PR).
+	panicsRecovered   metrics.Counter // handler/attempt panics turned into errors
+	cubeRetries       metrics.Counter // shard-level cube retries, summed per run
+	degradedResponses metrics.Counter // HTTP 200 with complete=false
+	requestRetries    metrics.Counter // transient-failure retry attempts
+
+	// Unix-nano timestamps of the last panic / degraded response,
+	// feeding the /healthz degraded window.
+	lastPanic    atomic.Int64
+	lastDegraded atomic.Int64
 }
 
 // NewServer assembles a service instance.
@@ -65,7 +93,9 @@ func (s *Server) Pool() *SessionPool { return s.pool }
 // Scheduler exposes the scheduler (drain on shutdown).
 func (s *Server) Sched() *Scheduler { return s.sched }
 
-// Handler returns the HTTP surface.
+// Handler returns the HTTP surface, wrapped in the recover middleware:
+// a panicking handler answers 500 and bumps a counter instead of
+// killing the process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /diagnose", s.handleDiagnose)
@@ -74,7 +104,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /scenario", s.handleScenario)
-	return mux
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware is the outermost backstop: anything that escapes
+// the per-attempt and scheduler recovers still answers a 500 rather
+// than crashing the shared server.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.notePanic()
+				s.failures.Inc()
+				writeError(w, http.StatusInternalServerError, "internal panic recovered: %v", v)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) notePanic() {
+	s.panicsRecovered.Inc()
+	s.lastPanic.Store(time.Now().UnixNano())
 }
 
 // Drain stops admission and waits for in-flight requests.
@@ -148,6 +199,18 @@ type DiagnoseResponse struct {
 	Shards    int             `json:"shards,omitempty"`
 	Stats     SolverStatsJSON `json:"stats"`
 	ElapsedMs float64         `json:"elapsedMs"`
+
+	// Degraded names why an incomplete run stopped (deadline,
+	// conflict-budget, solution-cap, cube-abandoned, budget). Empty on
+	// complete runs. A degraded answer is still HTTP 200: the solutions
+	// found so far are valid diagnoses, just not provably all of them.
+	Degraded string `json:"degraded,omitempty"`
+
+	// Cube fault-tolerance counters of this run's sharded enumeration.
+	CubePanics    int `json:"cubePanics,omitempty"`
+	CubeRetries   int `json:"cubeRetries,omitempty"`
+	CubeSteals    int `json:"cubeSteals,omitempty"`
+	CubeAbandoned int `json:"cubeAbandoned,omitempty"`
 }
 
 type errorJSON struct {
@@ -163,6 +226,86 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// errAttemptPanic marks a diagnosis attempt that panicked and was
+// recovered below the scheduler; the retry loop decides whether the
+// attempt is safe to repeat.
+var errAttemptPanic = errors.New("service: diagnosis attempt panicked")
+
+// serveWithRetry runs serve with a bounded exponential-backoff retry
+// loop. Failpoint-injected failures fire before any diagnosis work and
+// are always retried; recovered panics are retried only when the
+// caller declares the attempt idempotent (the declarative /diagnose
+// paths are; the stateful incremental edit is not — a panic may have
+// left the session's test list half-edited).
+func (s *Server) serveWithRetry(ctx context.Context, idempotent bool,
+	serve func(context.Context) (*DiagnoseResponse, error)) (*DiagnoseResponse, error) {
+
+	backoff := retryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := s.serveOnce(ctx, serve)
+		if err == nil || attempt >= diagnoseRetries {
+			return resp, err
+		}
+		transient := failpoint.IsInjected(err) || (idempotent && errors.Is(err, errAttemptPanic))
+		if !transient || ctx.Err() != nil {
+			return resp, err
+		}
+		s.requestRetries.Inc()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// serveOnce runs one diagnosis attempt: the service-level failpoint
+// fires first (so chaos runs can fail an attempt without executing
+// it), and a panic below this frame becomes an error instead of
+// reaching the scheduler.
+func (s *Server) serveOnce(ctx context.Context, serve func(context.Context) (*DiagnoseResponse, error)) (resp *DiagnoseResponse, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.notePanic()
+			resp, err = nil, fmt.Errorf("%w: %v", errAttemptPanic, v)
+		}
+	}()
+	if ferr := failpoint.Inject(FailpointDiagnose); ferr != nil {
+		return nil, ferr
+	}
+	return serve(ctx)
+}
+
+// annotateFaults copies the run's cube fault counters onto the wire
+// and, for incomplete runs, classifies why the run stopped.
+func (s *Server) annotateFaults(ctx context.Context, resp *DiagnoseResponse, perShard []cnf.ShardStats, maxSolutions int, maxConflicts int64) {
+	for _, st := range perShard {
+		resp.CubePanics += st.Panics
+		resp.CubeRetries += st.Retries
+		resp.CubeSteals += st.Steals
+		resp.CubeAbandoned += st.Abandoned
+	}
+	if resp.CubeRetries > 0 {
+		s.cubeRetries.Add(int64(resp.CubeRetries))
+	}
+	if resp.Complete {
+		return
+	}
+	switch {
+	case resp.CubeAbandoned > 0:
+		resp.Degraded = "cube-abandoned"
+	case ctx.Err() != nil:
+		resp.Degraded = "deadline"
+	case maxSolutions > 0 && len(resp.Solutions) >= maxSolutions:
+		resp.Degraded = "solution-cap"
+	case maxConflicts > 0:
+		resp.Degraded = "conflict-budget"
+	default:
+		resp.Degraded = "budget"
+	}
 }
 
 // countShards reports the parallel enumeration stages of a run,
@@ -313,11 +456,14 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	var derr error
 	start := time.Now()
 	err = s.sched.Do(ctx, func(ctx context.Context) {
-		if useWarm {
-			resp, derr = s.serveWarm(ctx, c, fp, tests, &req, encoding, engine)
-		} else {
-			resp, derr = s.serveCold(ctx, c, tests, &req, encoding, engine)
-		}
+		// /diagnose is declarative (the request carries its whole
+		// test-set), so even a panicked attempt is safe to retry.
+		resp, derr = s.serveWithRetry(ctx, true, func(ctx context.Context) (*DiagnoseResponse, error) {
+			if useWarm {
+				return s.serveWarm(ctx, c, fp, tests, &req, encoding, engine)
+			}
+			return s.serveCold(ctx, c, tests, &req, encoding, engine)
+		})
 	})
 	s.finish(w, resp, derr, err, start)
 }
@@ -354,7 +500,7 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 	if hit {
 		respMode = "warm"
 	}
-	return &DiagnoseResponse{
+	resp := &DiagnoseResponse{
 		Engine:     engine,
 		Mode:       respMode,
 		Solutions:  rep.Solutions,
@@ -373,7 +519,9 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 			Conflicts:    rep.Stats.Conflicts,
 			Propagations: rep.Stats.Propagations,
 		},
-	}, nil
+	}
+	s.annotateFaults(ctx, resp, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
+	return resp, nil
 }
 
 // serveCold bypasses the pool: one monolithic core.Diagnose call.
@@ -401,7 +549,7 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 	for i, sol := range rep.Solutions {
 		sols[i] = sol.Gates
 	}
-	return &DiagnoseResponse{
+	resp := &DiagnoseResponse{
 		Engine:     rep.Engine,
 		Mode:       "cold",
 		Solutions:  sols,
@@ -416,7 +564,9 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 			Conflicts:    rep.Stats.Conflicts,
 			Propagations: rep.Stats.Propagations,
 		},
-	}, nil
+	}
+	s.annotateFaults(ctx, resp, rep.PerShard, req.MaxSolutions, req.MaxConflicts)
+	return resp, nil
 }
 
 // SessionTestsRequest is the POST /sessions/{id}/tests body: an edit of
@@ -474,30 +624,36 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 	var derr error
 	start := time.Now()
 	err = s.sched.Do(ctx, func(ctx context.Context) {
-		rep, active, ierr := entry.Incremental(ctx, add, req.Remove, spec)
-		if ierr != nil {
-			derr = ierr
-			return
-		}
-		resp = &DiagnoseResponse{
-			Engine:     "bsat",
-			Mode:       "incremental",
-			Solutions:  rep.Solutions,
-			Complete:   rep.Complete,
-			Guaranteed: true,
-			Session:    entry.ID(),
-			PoolHit:    true,
-			Tests:      len(active),
-			NewCopies:  rep.NewCopies,
-			Vars:       rep.Vars,
-			Clauses:    rep.Clauses,
-			Shards:     countShards(rep.PerShard),
-			Stats: SolverStatsJSON{
-				Decisions:    rep.Stats.Decisions,
-				Conflicts:    rep.Stats.Conflicts,
-				Propagations: rep.Stats.Propagations,
-			},
-		}
+		// The incremental edit mutates the session's test list, so a
+		// panicked attempt is NOT retried (idempotent=false); injected
+		// pre-execution failures still are.
+		resp, derr = s.serveWithRetry(ctx, false, func(ctx context.Context) (*DiagnoseResponse, error) {
+			rep, active, ierr := entry.Incremental(ctx, add, req.Remove, spec)
+			if ierr != nil {
+				return nil, ierr
+			}
+			r := &DiagnoseResponse{
+				Engine:     "bsat",
+				Mode:       "incremental",
+				Solutions:  rep.Solutions,
+				Complete:   rep.Complete,
+				Guaranteed: true,
+				Session:    entry.ID(),
+				PoolHit:    true,
+				Tests:      len(active),
+				NewCopies:  rep.NewCopies,
+				Vars:       rep.Vars,
+				Clauses:    rep.Clauses,
+				Shards:     countShards(rep.PerShard),
+				Stats: SolverStatsJSON{
+					Decisions:    rep.Stats.Decisions,
+					Conflicts:    rep.Stats.Conflicts,
+					Propagations: rep.Stats.Propagations,
+				},
+			}
+			s.annotateFaults(ctx, r, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
+			return r, nil
+		})
 	})
 	s.finish(w, resp, derr, err, start)
 }
@@ -511,9 +667,12 @@ func decodeAdd(c *circuit.Circuit, in []TestJSON) (circuit.TestSet, error) {
 }
 
 // finish maps the (response, diagnosis error, scheduling error) triple
-// onto the wire and records latency.
+// onto the wire and records latency. A deadline that fires mid-run with
+// partial results still answers 200 (the degradation contract); only a
+// request that produced nothing maps to an error status.
 func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, schedErr error, start time.Time) {
 	elapsed := time.Since(start)
+	var pe *PanicError
 	switch {
 	case errors.Is(schedErr, ErrOverloaded):
 		s.failures.Inc()
@@ -523,17 +682,42 @@ func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, sch
 		s.failures.Inc()
 		writeError(w, http.StatusServiceUnavailable, "%v", schedErr)
 		return
+	case errors.Is(schedErr, ErrQueueTimeout):
+		// The deadline expired while queued; no work ran. 503 tells the
+		// client to back off and retry, unlike the mid-run 504.
+		s.failures.Inc()
+		writeError(w, http.StatusServiceUnavailable, "queue-timeout: %v", schedErr)
+		return
+	case errors.As(schedErr, &pe):
+		// Recovered by the scheduler backstop: the process survived,
+		// this request did not.
+		s.lastPanic.Store(time.Now().UnixNano())
+		s.failures.Inc()
+		writeError(w, http.StatusInternalServerError, "%v", schedErr)
+		return
 	}
 	if derr != nil {
 		s.failures.Inc()
-		writeError(w, http.StatusUnprocessableEntity, "%v", derr)
+		code := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(derr, cnf.ErrLadderWidth), errors.Is(derr, cnf.ErrBadEncoding):
+			// Malformed request parameters, not a serving failure.
+			code = http.StatusBadRequest
+		case errors.Is(derr, errAttemptPanic):
+			code = http.StatusInternalServerError
+		}
+		writeError(w, code, "%v", derr)
 		return
 	}
 	if resp == nil {
-		// Expired while queued: the worker never ran the request.
+		// The run was cancelled before producing even a partial report.
 		s.failures.Inc()
-		writeError(w, http.StatusGatewayTimeout, "request expired before a worker picked it up: %v", schedErr)
+		writeError(w, http.StatusGatewayTimeout, "request produced no result: %v", schedErr)
 		return
+	}
+	if resp.Degraded != "" {
+		s.degradedResponses.Inc()
+		s.lastDegraded.Store(time.Now().UnixNano())
 	}
 	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1e3
 	if h := s.latencies[resp.Mode]; h != nil {
@@ -542,26 +726,62 @@ func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, sch
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// HealthJSON is the GET /healthz reply.
+// HealthJSON is the GET /healthz reply. Live is process liveness
+// (always true when the handler answers). Ready is false once draining
+// began — load balancers should stop routing. Degraded means the
+// server recently recovered a panic or served an incomplete answer:
+// still serving, but worth a look.
 type HealthJSON struct {
-	OK       bool  `json:"ok"`
-	UptimeMs int64 `json:"uptimeMs"`
-	Sessions int   `json:"sessions"`
-	Bytes    int64 `json:"bytes"`
-	InFlight int64 `json:"inFlight"`
-	Queued   int64 `json:"queued"`
-	Workers  int   `json:"workers"`
+	OK       bool   `json:"ok"`
+	Status   string `json:"status"` // ok | degraded | draining
+	Live     bool   `json:"live"`
+	Ready    bool   `json:"ready"`
+	Degraded bool   `json:"degraded"`
+	UptimeMs int64  `json:"uptimeMs"`
+	Sessions int    `json:"sessions"`
+	Bytes    int64  `json:"bytes"`
+	InFlight int64  `json:"inFlight"`
+	Queued   int64  `json:"queued"`
+	Workers  int    `json:"workers"`
+
+	PanicsRecovered   int64 `json:"panicsRecovered,omitempty"`
+	DegradedResponses int64 `json:"degradedResponses,omitempty"`
+}
+
+// recentlyDegraded reports whether a panic or degraded response landed
+// within the health window.
+func (s *Server) recentlyDegraded() bool {
+	cutoff := time.Now().Add(-degradedWindow).UnixNano()
+	return s.lastPanic.Load() > cutoff || s.lastDegraded.Load() > cutoff
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthJSON{
-		OK:       true,
+	ready := !s.sched.Draining()
+	degraded := s.recentlyDegraded()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case !ready:
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	case degraded:
+		status = "degraded"
+	}
+	writeJSON(w, code, HealthJSON{
+		OK:       ready && !degraded,
+		Status:   status,
+		Live:     true,
+		Ready:    ready,
+		Degraded: degraded,
 		UptimeMs: time.Since(s.start).Milliseconds(),
 		Sessions: s.pool.Len(),
 		Bytes:    s.pool.TotalBytes(),
 		InFlight: s.sched.InFlight.Value(),
 		Queued:   s.sched.Queued.Value(),
 		Workers:  s.sched.Workers(),
+
+		PanicsRecovered:   s.panicsRecovered.Value() + s.sched.Panics.Value(),
+		DegradedResponses: s.degradedResponses.Value(),
 	})
 }
 
@@ -583,6 +803,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.WritePromValue(w, "diag_sched_queued", "", s.sched.Queued.Value())
 	metrics.WritePromValue(w, "diag_sched_rejected_total", "", s.sched.Rejected.Value())
 	metrics.WritePromValue(w, "diag_sched_completed_total", "", s.sched.Completed.Value())
+	metrics.WritePromValue(w, "diag_sched_queue_timeouts_total", "", s.sched.QueueTimeouts.Value())
+	metrics.WritePromValue(w, "diag_panics_recovered", "", s.panicsRecovered.Value()+s.sched.Panics.Value())
+	metrics.WritePromValue(w, "diag_cube_retries", "", s.cubeRetries.Value())
+	metrics.WritePromValue(w, "diag_degraded_responses", "", s.degradedResponses.Value())
+	metrics.WritePromValue(w, "diag_request_retries_total", "", s.requestRetries.Value())
 	s.sched.QueueWait.WriteProm(w, "diag_queue_wait_seconds", "")
 	for mode, h := range s.latencies {
 		h.WriteProm(w, "diag_request_seconds", fmt.Sprintf("mode=%q", mode))

@@ -230,7 +230,10 @@ func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, sp
 	before := sess.Solver.Statistics()
 	start := time.Now()
 	if spec.Shards > 1 {
-		sols, complete, perShard := sess.EnumerateSharded(spec.Shards, round)
+		sols, complete, perShard, err := sess.EnumerateSharded(spec.Shards, round)
+		if err != nil {
+			return nil, err
+		}
 		rep.Solutions = sols
 		rep.Complete = complete
 		rep.PerShard = perShard
@@ -244,12 +247,15 @@ func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, sp
 		rep.Stats = rep.Stats.Add(sess.Solver.Statistics().Sub(before))
 	} else {
 		var sols [][]int
-		_, complete := sess.EnumerateRound(round, func(k int, gates []int) bool {
+		_, complete, err := sess.EnumerateRound(round, func(k int, gates []int) bool {
 			g := append([]int(nil), gates...)
 			sort.Ints(g)
 			sols = append(sols, g)
 			return true
 		})
+		if err != nil {
+			return nil, err
+		}
 		cnf.SortSolutions(sols)
 		rep.Solutions = sols
 		rep.Complete = complete
