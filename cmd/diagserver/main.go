@@ -52,9 +52,11 @@ func main() {
 		queue     = flag.Int("queue", 64, "admission queue depth (full queue -> 429)")
 		poolMB    = flag.Int64("pool-mb", 512, "warm-session pool budget in MiB (LRU eviction past it)")
 		sessions  = flag.Int("pool-sessions", 64, "warm-session count bound")
-		defTO    = flag.Duration("default-timeout", 2*time.Minute, "budget for requests without one")
-		maxTO    = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied budgets (0 = none)")
-		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		defTO     = flag.Duration("default-timeout", 2*time.Minute, "budget for requests without one")
+		maxTO     = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied budgets (0 = none)")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		portfolio = flag.Bool("portfolio", false,
+			"race every eligible warm request across all search configurations; first finisher wins")
 		failpoints = flag.String("failpoints", os.Getenv("DIAG_FAILPOINTS"),
 			"failpoint spec for chaos runs, e.g. 'cnf/cube=panic(0.1)x5' (default from DIAG_FAILPOINTS)")
 		fpSeed = flag.Int64("failpoint-seed", envInt64("DIAG_FAILPOINT_SEED", 1),
@@ -80,7 +82,11 @@ func main() {
 			DefaultTimeout: *defTO,
 			MaxTimeout:     *maxTO,
 		},
+		Portfolio: *portfolio,
 	})
+	if *portfolio {
+		log.Printf("portfolio racing enabled")
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -64,6 +64,13 @@ type DiagOptions struct {
 	// only require the sat.Builder surface, so any sat.Backend
 	// implementation slots in here.
 	Backend sat.Backend
+
+	// Search, when non-zero, selects the solver's search configuration
+	// (sat.DefaultConfig / sat.Gen2Config). Configurations change the
+	// search trajectory, never the solution set, so any configuration —
+	// including a different one per shard worker — yields the same
+	// canonical diagnosis sets.
+	Search sat.SearchConfig
 }
 
 // Instance is a built diagnosis SAT instance. It is the same object as

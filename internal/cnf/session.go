@@ -119,6 +119,9 @@ func NewSession(c *circuit.Circuit, opts DiagOptions) *DiagSession {
 	if s == nil {
 		s = sat.New()
 	}
+	if opts.Search != (sat.SearchConfig{}) {
+		s.SetSearchConfig(opts.Search)
+	}
 
 	// Normalize the selection units to groups with labels.
 	groups := opts.Groups
@@ -460,6 +463,12 @@ type RoundOptions struct {
 	// EnumerateRound. A cube that exhausts its retries is abandoned and
 	// the run reports complete=false.
 	MaxCubeRetries int
+	// WorkerConfigs, when non-empty, assigns search configurations to the
+	// forked shard workers cyclically (worker i runs WorkerConfigs[i %
+	// len]). Configurations change only the search trajectory, never the
+	// solution set, so a mixed-config sharded run still merges to the
+	// canonical monolithic answer. Ignored by EnumerateRound.
+	WorkerConfigs []sat.SearchConfig
 }
 
 // ErrLadderWidth reports a round limit the session's ladder cannot

@@ -196,31 +196,40 @@ func ScheduleCubes(cubes []Cube, n int) [][]Cube {
 	return workers
 }
 
+// ForkSession clones the session into an independent twin: the backend
+// is Cloned (keepLearnts forwards to sat.Backend.Clone) and the
+// per-copy tables are copied, so AddTest and enumeration on the fork
+// never touch the parent. Both the sharded workers (ForkWorkers) and
+// the portfolio racer in the service layer fork through here.
+func (sess *DiagSession) ForkSession(keepLearnts bool) *DiagSession {
+	forked := &DiagSession{
+		Solver:     sess.Solver.Clone(keepLearnts),
+		Circuit:    sess.Circuit,
+		Tests:      append(circuit.TestSet(nil), sess.Tests...),
+		Candidates: sess.Candidates,
+		Sels:       sess.Sels,
+		Ladder:     sess.Ladder,
+		GateVars:   append([][]sat.Var(nil), sess.GateVars...),
+		CorrVars:   append([][]sat.Var(nil), sess.CorrVars...),
+		TestGuards: append([]sat.Lit(nil), sess.TestGuards...),
+		selIndex:   sess.selIndex,
+		opts:       sess.opts,
+	}
+	if sess.opts.Golden != nil {
+		// The golden simulator is stateful; every fork that may AddTest
+		// needs its own.
+		forked.golden = sim.New(sess.opts.Golden)
+	}
+	return forked
+}
+
 // ForkWorkers clones the session once per worker load (keepLearnts
 // forwards to sat.Backend.Clone) and couples each clone with its cubes.
 // The parent session stays untouched and fully usable.
 func (sess *DiagSession) ForkWorkers(workers [][]Cube, keepLearnts bool) []*Shard {
 	shards := make([]*Shard, len(workers))
 	for i, cubes := range workers {
-		forked := &DiagSession{
-			Solver:     sess.Solver.Clone(keepLearnts),
-			Circuit:    sess.Circuit,
-			Tests:      append(circuit.TestSet(nil), sess.Tests...),
-			Candidates: sess.Candidates,
-			Sels:       sess.Sels,
-			Ladder:     sess.Ladder,
-			GateVars:   append([][]sat.Var(nil), sess.GateVars...),
-			CorrVars:   append([][]sat.Var(nil), sess.CorrVars...),
-			TestGuards: append([]sat.Lit(nil), sess.TestGuards...),
-			selIndex:   sess.selIndex,
-			opts:       sess.opts,
-		}
-		if sess.opts.Golden != nil {
-			// The golden simulator is stateful; every fork that may AddTest
-			// needs its own.
-			forked.golden = sim.New(sess.opts.Golden)
-		}
-		shards[i] = &Shard{Session: forked, Index: i, Of: len(workers), Cubes: cubes}
+		shards[i] = &Shard{Session: sess.ForkSession(keepLearnts), Index: i, Of: len(workers), Cubes: cubes}
 	}
 	return shards
 }
@@ -606,6 +615,14 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 
 	loads := ScheduleCubes(sess.PlanCubes(sample, shards*CubeOversubscription), shards)
 	forks := sess.ForkWorkers(loads, keepLearnts)
+	if len(opts.WorkerConfigs) > 0 {
+		// Mixed-config sharding: worker i searches under WorkerConfigs[i %
+		// len]. Trajectories differ per worker; the canonical merge does
+		// not.
+		for i, sh := range forks {
+			sh.Session.Solver.SetSearchConfig(opts.WorkerConfigs[i%len(opts.WorkerConfigs)])
+		}
+	}
 	queue := newCubeQueue(loads)
 	maxRetries := opts.MaxCubeRetries
 	if maxRetries == 0 {

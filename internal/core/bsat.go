@@ -37,6 +37,12 @@ type BSATOptions struct {
 	// cone (instance-size heuristic; solution space unchanged).
 	ConeOnly bool
 
+	// Solver names the search configuration the backend runs under
+	// ("default", "gen2"; "" = default). Configurations change only the
+	// search trajectory, never the solution set. Unknown names are
+	// rejected (sat.ConfigByName).
+	Solver string
+
 	// Golden, when set, constrains all outputs of every copy to the
 	// specification values, not only the erroneous one.
 	Golden *circuit.Circuit
@@ -77,7 +83,11 @@ type BSATOptions struct {
 	Steer func(inst *cnf.Instance)
 }
 
-func (o BSATOptions) diagOptions() cnf.DiagOptions {
+func (o BSATOptions) diagOptions() (cnf.DiagOptions, error) {
+	search, err := sat.ConfigByName(o.Solver)
+	if err != nil {
+		return cnf.DiagOptions{}, err
+	}
 	return cnf.DiagOptions{
 		Candidates:  o.Candidates,
 		Groups:      o.Groups,
@@ -87,7 +97,8 @@ func (o BSATOptions) diagOptions() cnf.DiagOptions {
 		ForceZero:   o.ForceZero,
 		ConeOnly:    o.ConeOnly,
 		Golden:      o.Golden,
-	}
+		Search:      search,
+	}, nil
 }
 
 // BSATResult is the outcome of BasicSATDiagnose.
@@ -127,7 +138,11 @@ func BSAT(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*BSATRes
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("core: BSAT requires a non-empty test-set")
 	}
-	sess := cnf.NewSession(c, opts.diagOptions())
+	diagOpts, err := opts.diagOptions()
+	if err != nil {
+		return nil, err
+	}
+	sess := cnf.NewSession(c, diagOpts)
 	sess.AddTests(tests)
 	if opts.Steer != nil {
 		opts.Steer(sess)
@@ -315,7 +330,10 @@ func FFRTwoPass(c *circuit.Circuit, tests circuit.TestSet, opts BSATOptions) (*B
 	}
 	rootCands, rootOf := ffrCandidates(c)
 
-	sessOpts := opts.diagOptions()
+	sessOpts, err := opts.diagOptions()
+	if err != nil {
+		return nil, nil, err
+	}
 	sessOpts.Candidates = nil // every internal gate; passes restrict by assumptions
 	sess := cnf.NewSession(c, sessOpts)
 	sess.AddTests(tests)
@@ -411,7 +429,10 @@ func PartitionedBSAT(c *circuit.Circuit, tests circuit.TestSet, partitionSize in
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("core: PartitionedBSAT requires a non-empty test-set")
 	}
-	sessOpts := opts.diagOptions()
+	sessOpts, err := opts.diagOptions()
+	if err != nil {
+		return nil, err
+	}
 	sessOpts.GuardTests = true
 	sess := cnf.NewSession(c, sessOpts)
 	sess.AddTests(tests)

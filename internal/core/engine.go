@@ -51,6 +51,11 @@ type Request struct {
 	ForceZero  bool
 	ConeOnly   bool
 
+	// Solver names the SAT search configuration ("default", "gen2";
+	// "" = default). Trajectory-only: the solution set and its canonical
+	// order are configuration-invariant. Ignored by bsim/cov.
+	Solver string
+
 	// PT configures the path-tracing stage of bsim, cov and hybrid.
 	PT PTOptions
 	// CovEngine selects the covering enumerator of cov.
@@ -184,6 +189,7 @@ func (req Request) bsatOptions(ctx context.Context) BSATOptions {
 		Encoding:     req.Encoding,
 		ForceZero:    req.ForceZero,
 		ConeOnly:     req.ConeOnly,
+		Solver:       req.Solver,
 		MaxSolutions: req.MaxSolutions,
 		MaxConflicts: req.MaxConflicts,
 		Timeout:      req.Timeout,

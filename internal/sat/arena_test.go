@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -240,6 +241,99 @@ func TestCloneThenDiverge(t *testing.T) {
 				t.Fatalf("model differs at var %d", v)
 			}
 		}
+	}
+}
+
+// TestCloneThenDivergeGen2: the gen2 restart state (LBD EMAs, warmup
+// counter, vivification cursor) must be deep-copied, so a clone taken
+// mid-session searches exactly as its parent would have from the fork
+// point. The fork happens AFTER a solve — with the EMAs warm — and the
+// clone is then compared against an identically-built twin that never
+// forked.
+func TestCloneThenDivergeGen2(t *testing.T) {
+	build := func() *Solver {
+		s, _ := randomInstance(150, 0x165667B19E3779F9)
+		s.SetSearchConfig(Gen2Config())
+		return s
+	}
+	orig, twin := build(), build()
+	if a, b := orig.Solve(), twin.Solve(); a != b {
+		t.Fatalf("identical builds diverged: %v vs %v", a, b)
+	}
+	clone := orig.Clone(true).(*Solver)
+	if clone.cfg != orig.cfg || clone.emaFast != orig.emaFast ||
+		clone.emaSlow != orig.emaSlow || clone.lbdConflicts != orig.lbdConflicts ||
+		clone.vivifyHead != orig.vivifyHead {
+		t.Fatalf("Clone dropped gen2 search state:\n clone: cfg=%+v ema=%v/%v warm=%d viv=%d\n  orig: cfg=%+v ema=%v/%v warm=%d viv=%d",
+			clone.cfg, clone.emaFast, clone.emaSlow, clone.lbdConflicts, clone.vivifyHead,
+			orig.cfg, orig.emaFast, orig.emaSlow, orig.lbdConflicts, orig.vivifyHead)
+	}
+	if orig.emaSlow == 0 {
+		t.Fatal("EMAs never warmed before the fork; test exercises nothing")
+	}
+
+	// Mutate the original hard post-fork.
+	var block []Lit
+	for v := 0; v < 20; v++ {
+		block = append(block, MkLit(Var(v), orig.Value(Var(v)) == LTrue))
+	}
+	orig.AddClause(block...)
+	orig.MaxConflicts = 500
+	orig.Solve()
+
+	// Drive the clone and the twin through the identical incremental
+	// workload: with the restart state carried over, their searches —
+	// and so their work-counter deltas — must match exactly.
+	workload := func(s *Solver) []Status {
+		var sts []Status
+		for round := 0; round < 5; round++ {
+			st := s.Solve()
+			sts = append(sts, st)
+			if st != StatusSat || !s.Okay() {
+				break
+			}
+			var bl []Lit
+			for v := 0; v < 15; v++ {
+				bl = append(bl, MkLit(Var(v), s.Value(Var(v)) == LTrue))
+			}
+			if !s.AddClause(bl...) {
+				break
+			}
+		}
+		return sts
+	}
+	twinBase := twin.Stats
+	cs, ts := workload(clone), workload(twin)
+	if fmt.Sprint(cs) != fmt.Sprint(ts) {
+		t.Fatalf("status sequences diverged: clone %v vs twin %v", cs, ts)
+	}
+	if clone.Stats != twin.Stats.Sub(twinBase) {
+		t.Fatalf("clone search diverged from the fork point:\n clone: %+v\n  twin: %+v",
+			clone.Stats, twin.Stats.Sub(twinBase))
+	}
+}
+
+// TestWatchSlabRebuildZeroAlloc: re-laying every watch list after a
+// compaction pass must reuse the slab's backing array — strict zero
+// allocations once warm.
+func TestWatchSlabRebuildZeroAlloc(t *testing.T) {
+	s := pigeonhole(9, 8)
+	s.MaxConflicts = 3000
+	if st := s.Solve(); st == StatusSat {
+		t.Fatal("PHP cannot be SAT")
+	}
+	s.compact()
+	s.rebuildWatches() // warm: slab data sized for the full database
+	allocs := testing.AllocsPerRun(20, func() {
+		s.compact()
+		s.rebuildWatches()
+	})
+	if allocs != 0 {
+		t.Fatalf("compact+rebuildWatches allocated %v allocs/op, want 0", allocs)
+	}
+	// The rebuild must reclaim all relocation waste.
+	if s.wslab.wasted != 0 {
+		t.Fatalf("rebuild left %d wasted watch words", s.wslab.wasted)
 	}
 }
 

@@ -11,10 +11,11 @@ package sat
 // Because the clause store is a flat arena and every cross-reference is
 // an offset, the whole clause database — problem clauses, learnts,
 // activities, LBDs — transfers with a single bulk copy, and the watch
-// lists transfer as one flat slab carved into per-literal views. Clone
-// is a handful of memcpys: no per-clause allocation, no pointer
-// remapping. That is what makes shard-worker forks and warm-session
-// snapshots cheap enough to take per request.
+// slab transfers with two (the per-literal range table and the flat
+// data array). Clone is a handful of memcpys: no per-clause or
+// per-literal allocation, no pointer remapping. That is what makes
+// shard-worker forks and warm-session snapshots cheap enough to take
+// per request.
 //
 // The clone starts with fresh budgets (no conflict cap, no deadline, no
 // context) and zeroed Statistics, so per-clone work is attributable —
@@ -49,6 +50,16 @@ func (s *Solver) Clone(keepLearnts bool) Backend {
 		ClauseMinimize: s.ClauseMinimize,
 		PhaseSaving:    s.PhaseSaving,
 
+		// Search configuration and gen2 restart state: the LBD EMAs and
+		// the vivification cursor come along, so a clone's search is
+		// reproducible from the fork point — it restarts (and resumes
+		// vivification) exactly where its parent would have.
+		cfg:          s.cfg,
+		emaFast:      s.emaFast,
+		emaSlow:      s.emaSlow,
+		lbdConflicts: s.lbdConflicts,
+		vivifyHead:   s.vivifyHead,
+
 		maxLearnts:    s.maxLearnts,
 		simpDBAssigns: s.simpDBAssigns,
 	}
@@ -69,28 +80,30 @@ func (s *Solver) Clone(keepLearnts bool) Backend {
 		}
 	}
 
-	// Watch lists: one flat slab, carved into capacity-bounded per-literal
-	// views (three-index slices, so a list growing past its region
-	// reallocates instead of stomping its neighbour). Keeping the
-	// original's watch order also keeps its warm blockers.
-	total := 0
-	for i := range s.watches {
-		total += len(s.watches[i])
-	}
-	flat := make([]watch, 0, total)
-	n.watches = make([][]watch, len(s.watches))
-	for i, ws := range s.watches {
-		start := len(flat)
-		if keepLearnts {
-			flat = append(flat, ws...)
-		} else {
-			for _, w := range ws {
+	// Watch lists: the slab transfers with two bulk copies (the range
+	// table and the flat data array) — no per-literal work at all, the
+	// last per-literal allocation Clone had. Keeping the original's
+	// watch order also keeps its warm blockers. Without keepLearnts the
+	// data array is re-laid per literal instead, filtering out watches
+	// of the learnt clauses left behind as garbage.
+	if keepLearnts {
+		n.wslab.rng = append([]watchRange(nil), s.wslab.rng...)
+		n.wslab.data = append([]watch(nil), s.wslab.data...)
+		n.wslab.wasted = s.wslab.wasted
+	} else {
+		n.wslab.rng = make([]watchRange, len(s.wslab.rng))
+		n.wslab.data = make([]watch, 0, len(s.wslab.data))
+		for i := range s.wslab.rng {
+			r := s.wslab.rng[i]
+			start := uint32(len(n.wslab.data))
+			for _, w := range s.wslab.data[r.off : r.off+r.n] {
 				if !n.ca.learnt(w.cref()) {
-					flat = append(flat, w)
+					n.wslab.data = append(n.wslab.data, w)
 				}
 			}
+			kept := uint32(len(n.wslab.data)) - start
+			n.wslab.rng[i] = watchRange{off: start, n: kept, cap: kept}
 		}
-		n.watches[i] = flat[start:len(flat):len(flat)]
 	}
 	return n
 }

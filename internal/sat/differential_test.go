@@ -28,7 +28,7 @@ import (
 // which should only ever be done when the search behaviour is *meant*
 // to change (a new heuristic), never for storage refactors.
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/prearena_golden.json from the current solver")
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden recordings from the current solver")
 
 type goldenRecord struct {
 	Name         string `json:"name"`
@@ -48,6 +48,11 @@ type goldenRecord struct {
 	SolHash      string `json:"solhash,omitempty"` // hash over the enumerated projections
 	NumClauses   int    `json:"numClauses"`
 	NumLearnts   int    `json:"numLearnts"`
+	// Gen2 counters (always zero under the default configuration, so the
+	// pre-arena recording stays byte-identical).
+	LBDRestarts int64 `json:"lbdRestarts,omitempty"`
+	Vivified    int64 `json:"vivifiedLits,omitempty"`
+	ChronoBTs   int64 `json:"chronoBacktracks,omitempty"`
 }
 
 // goldenCase is one deterministic workload: build the instance, drive
@@ -82,6 +87,9 @@ func snapshot(name string, s *Solver, st Status) goldenRecord {
 		Reduces:      s.Stats.Reduces,
 		NumClauses:   s.NumClauses(),
 		NumLearnts:   s.NumLearnts(),
+		LBDRestarts:  s.Stats.LBDRestarts,
+		Vivified:     s.Stats.VivifiedLits,
+		ChronoBTs:    s.Stats.ChronoBacktracks,
 	}
 	if st == StatusSat {
 		var sb strings.Builder
@@ -105,8 +113,9 @@ func snapshot(name string, s *Solver, st Status) goldenRecord {
 	return rec
 }
 
-func buildRandom(nVars, nClauses, width int, seed uint64) *Solver {
+func buildRandom(nVars, nClauses, width int, seed uint64, cfg SearchConfig) *Solver {
 	s := New()
+	s.SetSearchConfig(cfg)
 	s.NewVars(nVars)
 	rng := xorshift(seed)
 	for i := 0; i < nClauses; i++ {
@@ -121,7 +130,7 @@ func buildRandom(nVars, nClauses, width int, seed uint64) *Solver {
 	return s
 }
 
-func goldenCorpus() []goldenCase {
+func goldenCorpus(sc SearchConfig) []goldenCase {
 	var cases []goldenCase
 
 	// Random k-SAT at several densities: bare solves.
@@ -141,7 +150,7 @@ func goldenCorpus() []goldenCase {
 		cfg := cfg
 		name := fmt.Sprintf("rand/nv%d/w%d/d%.1f", cfg.nv, cfg.width, cfg.density)
 		cases = append(cases, goldenCase{name, func() goldenRecord {
-			s := buildRandom(cfg.nv, int(float64(cfg.nv)*cfg.density), cfg.width, cfg.seed)
+			s := buildRandom(cfg.nv, int(float64(cfg.nv)*cfg.density), cfg.width, cfg.seed, sc)
 			return snapshot(name, s, s.Solve())
 		}})
 	}
@@ -151,7 +160,7 @@ func goldenCorpus() []goldenCase {
 		seed := seed
 		name := fmt.Sprintf("assume/%x", seed)
 		cases = append(cases, goldenCase{name, func() goldenRecord {
-			s := buildRandom(80, 280, 3, seed)
+			s := buildRandom(80, 280, 3, seed, sc)
 			rng := xorshift(seed ^ 0xFFFF)
 			var st Status
 			for round := 0; round < 6; round++ {
@@ -172,13 +181,14 @@ func goldenCorpus() []goldenCase {
 		name := fmt.Sprintf("php/%d", n)
 		cases = append(cases, goldenCase{name, func() goldenRecord {
 			s := pigeonhole(n+1, n)
+			s.SetSearchConfig(sc)
 			return snapshot(name, s, s.Solve())
 		}})
 	}
 
 	// Incremental clause addition between solves (the session usage).
 	cases = append(cases, goldenCase{"incremental", func() goldenRecord {
-		s := buildRandom(100, 330, 3, 0x5DEECE66D)
+		s := buildRandom(100, 330, 3, 0x5DEECE66D, sc)
 		rng := xorshift(0x5DEECE66D ^ 0xABCDEF)
 		var st Status
 		for round := 0; round < 8; round++ {
@@ -206,6 +216,7 @@ func goldenCorpus() []goldenCase {
 	// Conflict-budgeted solve: must stop at the identical point.
 	cases = append(cases, goldenCase{"budget", func() goldenRecord {
 		s := pigeonhole(9, 8)
+		s.SetSearchConfig(sc)
 		s.MaxConflicts = 64
 		st := s.Solve()
 		return snapshot("budget", s, st)
@@ -216,12 +227,13 @@ func goldenCorpus() []goldenCase {
 	// the golden run pins the exact reduction behaviour the big Table 2
 	// instances rely on.
 	cases = append(cases, goldenCase{"reducedb", func() goldenRecord {
-		s := buildRandom(150, 540, 3, 0x7F4A7C159E3779B9)
+		s := buildRandom(150, 540, 3, 0x7F4A7C159E3779B9, sc)
 		s.maxLearnts = 25
 		return snapshot("reducedb", s, s.Solve())
 	}})
 	cases = append(cases, goldenCase{"reducedb/unsat", func() goldenRecord {
 		s := pigeonhole(8, 7)
+		s.SetSearchConfig(sc)
 		s.maxLearnts = 20
 		return snapshot("reducedb/unsat", s, s.Solve())
 	}})
@@ -239,7 +251,7 @@ func goldenCorpus() []goldenCase {
 		cfg := cfg
 		name := fmt.Sprintf("binary/nv%d/d%.1f", cfg.nv, cfg.density)
 		cases = append(cases, goldenCase{name, func() goldenRecord {
-			s := buildRandom(cfg.nv, int(float64(cfg.nv)*cfg.density), 2, cfg.seed)
+			s := buildRandom(cfg.nv, int(float64(cfg.nv)*cfg.density), 2, cfg.seed, sc)
 			var st Status
 			if s.Okay() {
 				st = s.Solve()
@@ -251,6 +263,7 @@ func goldenCorpus() []goldenCase {
 	}
 	cases = append(cases, goldenCase{"binary/mixed", func() goldenRecord {
 		s := New()
+		s.SetSearchConfig(sc)
 		s.NewVars(120)
 		rng := xorshift(0x6C62272E07BB0142)
 		ok := true
@@ -279,7 +292,7 @@ func goldenCorpus() []goldenCase {
 
 	// Subset-blocking enumeration (the COV/BSAT discipline).
 	cases = append(cases, goldenCase{"enumerate/subset", func() goldenRecord {
-		s := buildRandom(60, 150, 3, 0x13579BDF2468ACE0)
+		s := buildRandom(60, 150, 3, 0x13579BDF2468ACE0, sc)
 		proj := make([]Lit, 14)
 		for i := range proj {
 			proj[i] = PosLit(Var(i))
@@ -305,7 +318,7 @@ func goldenCorpus() []goldenCase {
 
 	// Exact-blocking enumeration with guarded blocking literals.
 	cases = append(cases, goldenCase{"enumerate/guarded", func() goldenRecord {
-		s := buildRandom(40, 100, 3, 0xFEDCBA9876543210)
+		s := buildRandom(40, 100, 3, 0xFEDCBA9876543210, sc)
 		guard := PosLit(s.NewVar())
 		proj := make([]Lit, 10)
 		for i := range proj {
@@ -356,6 +369,7 @@ func goldenCorpus() []goldenCase {
 			if err != nil {
 				panic(err)
 			}
+			s.SetSearchConfig(sc)
 			return snapshot(name, s, s.Solve())
 		}})
 	}
@@ -365,11 +379,19 @@ func goldenCorpus() []goldenCase {
 
 const goldenPath = "testdata/prearena_golden.json"
 
-// TestDifferentialGolden replays the corpus and compares every
-// observable of every run against the recorded pre-arena behaviour.
+// TestDifferentialGolden replays the corpus under the default search
+// configuration and compares every observable of every run against the
+// recorded pre-arena behaviour.
 func TestDifferentialGolden(t *testing.T) {
+	runGoldenSuite(t, goldenPath, DefaultConfig())
+}
+
+// runGoldenSuite replays the corpus under one search configuration
+// against one golden recording (shared by the pre-arena/default and the
+// gen2 suites; -update-golden rewrites whichever recordings run).
+func runGoldenSuite(t *testing.T, goldenPath string, sc SearchConfig) {
 	var got []goldenRecord
-	for _, c := range goldenCorpus() {
+	for _, c := range goldenCorpus(sc) {
 		got = append(got, c.run())
 	}
 	if *updateGolden {
@@ -403,7 +425,7 @@ func TestDifferentialGolden(t *testing.T) {
 			t.Fatalf("case %d: name %q vs golden %q", i, g.Name, w.Name)
 		}
 		if fmt.Sprintf("%+v", w) != fmt.Sprintf("%+v", g) {
-			t.Errorf("%s: behaviour diverged from pre-arena solver\n golden: %+v\n    got: %+v", w.Name, w, g)
+			t.Errorf("%s: behaviour diverged from recording %s\n golden: %+v\n    got: %+v", w.Name, goldenPath, w, g)
 		}
 	}
 }

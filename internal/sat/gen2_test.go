@@ -1,0 +1,199 @@
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// The gen2 configuration is a deliberate search change: LBD-EMA
+// restarts, clause vivification and chronological backtracking alter
+// the trajectory, so it gets its own golden recording instead of the
+// pre-arena one. Regenerate with
+//
+//	go test ./internal/sat -run TestDifferentialGoldenGen2 -update-golden
+//
+// What must NOT change, recording or not, is the solution space: gen2
+// and default enumerate identical projected-solution sets on every
+// instance (TestGen2SolutionSetEquivalence below), which is what makes
+// portfolio racing across configurations sound.
+
+const gen2GoldenPath = "testdata/gen2_golden.json"
+
+// TestDifferentialGoldenGen2 replays the differential corpus under the
+// gen2 configuration against its own recording.
+func TestDifferentialGoldenGen2(t *testing.T) {
+	runGoldenSuite(t, gen2GoldenPath, Gen2Config())
+}
+
+// TestConfigByName pins the config registry the wire formats rely on.
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"", "default", "gen2"} {
+		cfg, err := ConfigByName(name)
+		if err != nil {
+			t.Fatalf("ConfigByName(%q): %v", name, err)
+		}
+		if name == "gen2" && (!cfg.LBDRestarts || !cfg.Vivify || cfg.ChronoBT <= 0) {
+			t.Fatalf("gen2 config missing heuristics: %+v", cfg)
+		}
+		if name != "gen2" && (cfg.LBDRestarts || cfg.Vivify || cfg.ChronoBT != 0) {
+			t.Fatalf("default config has gen2 heuristics enabled: %+v", cfg)
+		}
+	}
+	if _, err := ConfigByName("gen3"); err == nil {
+		t.Fatal("ConfigByName accepted an unknown name")
+	}
+	if len(PortfolioConfigs()) < 2 {
+		t.Fatal("portfolio needs at least two configurations to race")
+	}
+}
+
+// minimalMasks reduces subset-blocked enumeration output to its minimal
+// antichain (drop every solution that is a proper superset of another)
+// — the canonicalization cnf.DropSupersets applies at the diagnosis
+// layer. The raw output is trajectory-dependent (a non-minimal solution
+// can surface before the subset that would have blocked it), but the
+// minimal antichain of a complete enumeration is not.
+func minimalMasks(masks []uint32) []uint32 {
+	var out []uint32
+	for _, m := range masks {
+		keep := true
+		for _, o := range masks {
+			if o != m && o&m == o {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestGen2SolutionSetEquivalence is the randomized property test: on
+// random instances, complete subset-blocked enumeration under gen2
+// yields exactly the default configuration's minimal solution set — the
+// configs differ in trajectory only, which is what portfolio racing and
+// mixed-config sharding rely on.
+func TestGen2SolutionSetEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sets := make(map[string][]uint32)
+			for _, cfg := range PortfolioConfigs() {
+				s := buildRandom(70, 70*3, 3, seed*0x9E3779B97F4A7C15, cfg)
+				proj := make([]Lit, 12)
+				for i := range proj {
+					proj[i] = PosLit(Var(i))
+				}
+				var masks []uint32
+				_, complete := s.EnumerateProjected(proj, EnumOptions{MaxSolutions: 100000}, func(trueLits []Lit) bool {
+					var m uint32
+					for _, l := range trueLits {
+						m |= 1 << uint(l.Var())
+					}
+					masks = append(masks, m)
+					return true
+				})
+				if !complete {
+					t.Skipf("enumeration incomplete under %s; seed unusable", cfg.Name)
+				}
+				sets[cfg.Name] = minimalMasks(masks)
+			}
+			def, gen2 := sets["default"], sets["gen2"]
+			if fmt.Sprint(def) != fmt.Sprint(gen2) {
+				t.Fatalf("minimal solution sets differ:\n default: %v\n    gen2: %v", def, gen2)
+			}
+		})
+	}
+}
+
+// TestGen2Verdicts checks the gen2 heuristics keep verdicts intact on
+// structured UNSAT instances (the restarts/chrono/vivify combination
+// must not lose soundness or completeness).
+func TestGen2Verdicts(t *testing.T) {
+	s := pigeonhole(8, 7)
+	s.SetSearchConfig(Gen2Config())
+	if st := s.Solve(); st != StatusUnsat {
+		t.Fatalf("php(8,7) under gen2: %v, want UNSAT", st)
+	}
+	rs := buildRandom(120, int(120*3.6), 3, 0xD1B54A32D192ED03, Gen2Config())
+	if st := rs.Solve(); st != StatusSat {
+		t.Fatalf("rand/nv120/d3.6 under gen2: %v, want SAT", st)
+	}
+	// Re-solve after adding a blocking clause: incremental use.
+	var block []Lit
+	for v := 0; v < 10; v++ {
+		if rs.Value(Var(v)) == LTrue {
+			block = append(block, NegLit(Var(v)))
+		} else {
+			block = append(block, PosLit(Var(v)))
+		}
+	}
+	rs.AddClause(block...)
+	if st := rs.Solve(); st == StatusUnknown {
+		t.Fatalf("incremental gen2 re-solve: %v", st)
+	}
+}
+
+// TestChronoBTEquivalence lowers the chronological-backtracking
+// threshold far below the production value so the conversion actually
+// fires on small instances, and cross-checks every verdict against a
+// default-config twin.
+func TestChronoBTEquivalence(t *testing.T) {
+	cfg := SearchConfig{Name: "chrono-test", ChronoBT: 3}
+	fired := int64(0)
+	for seed := uint64(11); seed <= 18; seed++ {
+		a := buildRandom(110, int(110*4.2), 3, seed*0xA24BAED4963EE407, cfg)
+		b := buildRandom(110, int(110*4.2), 3, seed*0xA24BAED4963EE407, DefaultConfig())
+		sa, sb := a.Solve(), b.Solve()
+		if sa != sb {
+			t.Fatalf("seed %d: chrono solver says %v, default says %v", seed, sa, sb)
+		}
+		fired += a.Stats.ChronoBacktracks
+	}
+	if fired == 0 {
+		t.Fatal("chronological backtracking never fired at threshold 3; test exercises nothing")
+	}
+}
+
+// TestVivifyPreservesEquivalence drives vivification hard (many level-0
+// simplify passes via incremental unit additions) and cross-checks
+// every verdict against a default-config twin.
+func TestVivifyPreservesEquivalence(t *testing.T) {
+	cfg := Gen2Config()
+	cfg.ChronoBT = 0
+	cfg.LBDRestarts = false // isolate vivification
+	for seed := uint64(3); seed <= 8; seed++ {
+		a := buildRandom(90, 90*4, 3, seed*0x2545F4914F6CDD1D, cfg)
+		b := buildRandom(90, 90*4, 3, seed*0x2545F4914F6CDD1D, DefaultConfig())
+		if !a.Okay() || !b.Okay() {
+			continue
+		}
+		rng := xorshift(seed)
+		for round := 0; round < 8; round++ {
+			assump := MkLit(Var(rng.next(90)), rng.next(2) == 1)
+			sa, sb := a.Solve(assump), b.Solve(assump)
+			if sa != sb {
+				t.Fatalf("seed %d round %d: vivified solver says %v, default says %v", seed, round, sa, sb)
+			}
+			if round%3 == 2 {
+				// Force a fresh top-level fact so simplify (and with it
+				// vivifyRound) actually runs.
+				unit := MkLit(Var(rng.next(90)), rng.next(2) == 1)
+				oa, ob := a.AddClause(unit), b.AddClause(unit)
+				if oa != ob {
+					t.Fatalf("seed %d round %d: AddClause disagreement %v vs %v", seed, round, oa, ob)
+				}
+				if !oa {
+					break
+				}
+			}
+		}
+		if a.Stats.VivifiedLits == 0 && seed == 3 {
+			t.Log("note: no literals vivified on seed 3 (instance too easy)")
+		}
+	}
+}

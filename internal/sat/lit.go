@@ -121,6 +121,10 @@ type Stats struct {
 	MinimizedLit int64
 	Simplifies   int64
 	Reduces      int64
+	// Gen2 search counters (zero under the default configuration).
+	LBDRestarts      int64 // restarts fired by the LBD-EMA trigger
+	VivifiedLits     int64 // literals removed by clause vivification
+	ChronoBacktracks int64 // deep backjumps converted to one-level backtracks
 }
 
 // Add returns the field-wise sum s + o. Sharded enumeration uses it to
@@ -136,6 +140,10 @@ func (s Stats) Add(o Stats) Stats {
 		MinimizedLit: s.MinimizedLit + o.MinimizedLit,
 		Simplifies:   s.Simplifies + o.Simplifies,
 		Reduces:      s.Reduces + o.Reduces,
+
+		LBDRestarts:      s.LBDRestarts + o.LBDRestarts,
+		VivifiedLits:     s.VivifiedLits + o.VivifiedLits,
+		ChronoBacktracks: s.ChronoBacktracks + o.ChronoBacktracks,
 	}
 }
 
@@ -153,6 +161,10 @@ func (s Stats) Sub(o Stats) Stats {
 		MinimizedLit: s.MinimizedLit - o.MinimizedLit,
 		Simplifies:   s.Simplifies - o.Simplifies,
 		Reduces:      s.Reduces - o.Reduces,
+
+		LBDRestarts:      s.LBDRestarts - o.LBDRestarts,
+		VivifiedLits:     s.VivifiedLits - o.VivifiedLits,
+		ChronoBacktracks: s.ChronoBacktracks - o.ChronoBacktracks,
 	}
 }
 

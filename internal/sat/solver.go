@@ -19,7 +19,7 @@ type Solver struct {
 	ca      clauseArena
 	clauses []CRef
 	learnts []CRef
-	watches [][]watch
+	wslab   watchSlab
 
 	assigns  []LBool
 	level    []int32
@@ -71,6 +71,21 @@ type Solver struct {
 	ClauseMinimize bool
 	PhaseSaving    bool
 
+	// Search configuration (see config.go) and the gen2 restart state:
+	// fast/slow EMAs of learnt-clause LBDs plus the warmup conflict
+	// counter, deep-copied by Clone so a clone restarts exactly where
+	// its parent would have. The counter is separate from
+	// Stats.Conflicts deliberately: Clone zeroes Stats for per-clone
+	// work attribution, and gating search behaviour on a reporting
+	// counter would make a clone's search diverge from its fork point.
+	cfg          SearchConfig
+	emaFast      float64
+	emaSlow      float64
+	lbdConflicts int64
+	// vivifyHead is the resumption cursor of the bounded vivification
+	// batches (index into s.clauses, clamped modulo its length).
+	vivifyHead int
+
 	Stats Stats
 
 	maxLearnts    float64
@@ -99,7 +114,7 @@ func (s *Solver) NewVar() Var {
 	s.polarity = append(s.polarity, true) // default phase: negative (MiniSat style)
 	s.decision = append(s.decision, true)
 	s.seen = append(s.seen, 0)
-	s.watches = append(s.watches, nil, nil)
+	s.wslab.newVar()
 	s.order.insert(v, s.activity)
 	return v
 }
@@ -241,12 +256,21 @@ func (s *Solver) attach(cr CRef) {
 	lits := s.ca.lits(cr)
 	l0, l1 := Lit(lits[0]), Lit(lits[1])
 	if len(lits) == 2 {
-		s.watches[l0.Neg()] = append(s.watches[l0.Neg()], mkBinWatch(cr, l1))
-		s.watches[l1.Neg()] = append(s.watches[l1.Neg()], mkBinWatch(cr, l0))
+		s.wslab.push(l0.Neg(), mkBinWatch(cr, l1))
+		s.wslab.push(l1.Neg(), mkBinWatch(cr, l0))
 		return
 	}
-	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], mkWatch(cr, l1))
-	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], mkWatch(cr, l0))
+	s.wslab.push(l0.Neg(), mkWatch(cr, l1))
+	s.wslab.push(l1.Neg(), mkWatch(cr, l0))
+}
+
+// detach removes the clause's two watches (swap-removal; only the gen2
+// vivifier detaches individual clauses, so watch-list order — which the
+// default golden pins — is never perturbed under the default config).
+func (s *Solver) detach(cr CRef) {
+	lits := s.ca.lits(cr)
+	s.wslab.remove(Lit(lits[0]).Neg(), cr)
+	s.wslab.remove(Lit(lits[1]).Neg(), cr)
 }
 
 func (s *Solver) uncheckedEnqueue(l Lit, from CRef) {
@@ -262,33 +286,39 @@ func (s *Solver) uncheckedEnqueue(l Lit, from CRef) {
 }
 
 // propagate performs unit propagation over the trail; it returns the
-// conflicting clause or CRefUndef.
+// conflicting clause or CRefUndef. It walks one contiguous slab region
+// per trail literal, filtering kept watches in place exactly like the
+// slice-per-literal version did — same per-literal order, so the
+// default configuration stays byte-identical to the golden recording.
 func (s *Solver) propagate() CRef {
 	confl := CRefUndef
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Stats.Propagations++
-		ws := s.watches[p]
-		n := 0
+		r := &s.wslab.rng[p] // stable: rng only grows in NewVar
+		off := r.off
+		count := r.n
+		data := s.wslab.data
+		n := uint32(0)
 	nextWatch:
-		for i := 0; i < len(ws); i++ {
-			w := ws[i]
+		for i := uint32(0); i < count; i++ {
+			w := data[off+i]
 			if s.value(w.blocker) == LTrue {
-				ws[n] = w
+				data[off+n] = w
 				n++
 				continue
 			}
 			if w.bin() {
 				// blocker is the other literal and it is not true: the
 				// clause is unit or conflicting, with no arena access.
-				ws[n] = w
+				data[off+n] = w
 				n++
 				if s.value(w.blocker) == LFalse {
 					confl = w.cref()
 					s.qhead = len(s.trail)
-					for i++; i < len(ws); i++ {
-						ws[n] = ws[i]
+					for i++; i < count; i++ {
+						data[off+n] = data[off+i]
 						n++
 					}
 					break
@@ -305,7 +335,7 @@ func (s *Solver) propagate() CRef {
 			}
 			first := Lit(lits[0])
 			if first != w.blocker && s.value(first) == LTrue {
-				ws[n] = mkWatch(cr, first)
+				data[off+n] = mkWatch(cr, first)
 				n++
 				continue
 			}
@@ -314,26 +344,31 @@ func (s *Solver) propagate() CRef {
 				if s.value(Lit(lits[k])) != LFalse {
 					lits[1], lits[k] = lits[k], lits[1]
 					nl := Lit(lits[1]).Neg()
-					s.watches[nl] = append(s.watches[nl], mkWatch(cr, first))
+					// The push may grow the slab's backing array or
+					// relocate nl's list; p's own range is untouched (the
+					// clause cannot contain both p and ~p, so nl != p) but
+					// the array may have moved — re-cache it.
+					s.wslab.push(nl, mkWatch(cr, first))
+					data = s.wslab.data
 					continue nextWatch
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[n] = mkWatch(cr, first)
+			data[off+n] = mkWatch(cr, first)
 			n++
 			if s.value(first) == LFalse {
 				confl = cr
 				s.qhead = len(s.trail)
 				// Keep remaining watches.
-				for i++; i < len(ws); i++ {
-					ws[n] = ws[i]
+				for i++; i < count; i++ {
+					data[off+n] = data[off+i]
 					n++
 				}
 				break
 			}
 			s.uncheckedEnqueue(first, cr)
 		}
-		s.watches[p] = ws[:n]
+		r.n = n
 		if confl != CRefUndef {
 			return confl
 		}
@@ -599,10 +634,38 @@ func (s *Solver) reduceDB() {
 	s.rebuildWatches()
 }
 
+// rebuildWatches lays every watch list back out contiguously in the
+// slab with exact capacities, reclaiming relocation waste. Three passes
+// — count, prefix-sum, fill — in clause-list order, which reproduces
+// the exact per-literal watch order the slice-per-literal rebuild
+// produced (clauses then learnts, two pushes per clause). Steady-state
+// zero-alloc: the backing array is reused once grown.
 func (s *Solver) rebuildWatches() {
-	for i := range s.watches {
-		s.watches[i] = s.watches[i][:0]
+	sl := &s.wslab
+	for i := range sl.rng {
+		sl.rng[i] = watchRange{}
 	}
+	for _, cr := range s.clauses {
+		lits := s.ca.lits(cr)
+		sl.rng[Lit(lits[0]).Neg()].cap++
+		sl.rng[Lit(lits[1]).Neg()].cap++
+	}
+	for _, cr := range s.learnts {
+		lits := s.ca.lits(cr)
+		sl.rng[Lit(lits[0]).Neg()].cap++
+		sl.rng[Lit(lits[1]).Neg()].cap++
+	}
+	var total uint32
+	for i := range sl.rng {
+		sl.rng[i].off = total
+		total += sl.rng[i].cap
+	}
+	if uint32(cap(sl.data)) < total {
+		sl.data = make([]watch, total)
+	} else {
+		sl.data = sl.data[:total]
+	}
+	sl.wasted = 0
 	for _, cr := range s.clauses {
 		s.attach(cr)
 	}
@@ -627,6 +690,12 @@ func (s *Solver) simplify() {
 	s.learnts = s.removeSatisfied(s.learnts)
 	s.maybeCompact()
 	s.rebuildWatches()
+	if s.cfg.Vivify && s.ok {
+		// Gen2 only: probe a bounded batch of problem clauses now that
+		// the watches are valid again. Shrunk clauses grow arena waste,
+		// reclaimed by the next compaction.
+		s.vivifyRound()
+	}
 	s.simpDBAssigns = len(s.trail)
 }
 
@@ -780,12 +849,23 @@ func (s *Solver) search(nConflicts int) Status {
 				return StatusUnsat
 			}
 			learnt, bt := s.analyze(confl)
+			if s.cfg.ChronoBT > 0 && len(learnt) > 1 && s.decisionLevel()-bt >= s.cfg.ChronoBT {
+				// Chronological backtracking: the backjump would unwind
+				// ChronoBT+ levels; step back a single level instead. The
+				// learnt clause is still asserting there (every
+				// non-asserting literal has level <= bt), so the enqueue
+				// below is sound and the trail stays level-ordered.
+				bt = s.decisionLevel() - 1
+				s.Stats.ChronoBacktracks++
+			}
 			s.cancelUntil(bt)
+			lbd := int32(1)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], CRefUndef)
 			} else {
 				cr := s.ca.alloc(learnt, true)
-				s.ca.setLBD(cr, s.computeLBD(learnt))
+				lbd = s.computeLBD(learnt)
+				s.ca.setLBD(cr, lbd)
 				s.learnts = append(s.learnts, cr)
 				s.attach(cr)
 				s.bumpClause(cr)
@@ -795,6 +875,21 @@ func (s *Solver) search(nConflicts int) Status {
 			}
 			s.varInc *= varDecay
 			s.clauseInc *= clauseDecay
+			if s.cfg.LBDRestarts {
+				s.lbdConflicts++
+				s.emaFast += lbdEmaFastAlpha * (float64(lbd) - s.emaFast)
+				s.emaSlow += lbdEmaSlowAlpha * (float64(lbd) - s.emaSlow)
+				if conflicts >= lbdRestartMinInterval &&
+					s.lbdConflicts >= lbdEmaWarmup &&
+					s.emaFast > lbdRestartMargin*s.emaSlow {
+					// Recent conflicts are markedly worse than the
+					// session norm: restart now instead of waiting for
+					// the Luby limit.
+					s.Stats.LBDRestarts++
+					s.cancelUntil(0)
+					return StatusUnknown
+				}
+			}
 			continue
 		}
 

@@ -1,0 +1,137 @@
+package sat
+
+// Clause vivification (gen2 only): at decision level 0, re-derive each
+// problem clause by asserting the negations of its literals one at a
+// time and propagating. Three outcomes strengthen the clause:
+//
+//   - propagation conflicts after asserting ~l1..~li: (l1 ∨ .. ∨ li) is
+//     implied and subsumes the clause — truncate to the prefix;
+//   - some later literal l is already true: (l1 ∨ .. ∨ l_{i} ∨ l) is
+//     implied — truncate to the prefix plus l;
+//   - some later literal l is already false: ~(l1 ∨ .. ∨ li) implies ~l,
+//     so resolving removes l from the clause.
+//
+// The probed clause is detached first so it cannot propagate itself,
+// and reattached (or freed, when it shrank to a unit or was found
+// level-0 satisfied) afterwards. Probes never learn clauses; all probe
+// assignments are unwound before the next clause.
+
+// vivifyRound probes up to vivifyBatch problem clauses starting at the
+// resumption cursor. Runs at decision level 0 with saturated
+// propagation and valid watches (simplify calls it right after
+// rebuildWatches). Sets s.ok = false if a derived unit conflicts.
+func (s *Solver) vivifyRound() {
+	if len(s.clauses) == 0 {
+		return
+	}
+	if s.vivifyHead >= len(s.clauses) {
+		s.vivifyHead = 0
+	}
+	end := s.vivifyHead + vivifyBatch
+	if end > len(s.clauses) {
+		end = len(s.clauses)
+	}
+	freed := false
+	for idx := s.vivifyHead; idx < end; idx++ {
+		if s.ca.size(s.clauses[idx]) <= 2 {
+			continue // binaries propagate inline; nothing to shrink
+		}
+		dropped, ok := s.vivifyClause(idx)
+		if dropped {
+			freed = true
+		}
+		if !ok {
+			s.ok = false
+			break
+		}
+	}
+	s.vivifyHead = end
+	if freed {
+		keep := s.clauses[:0]
+		for _, cr := range s.clauses {
+			if cr != CRefUndef {
+				keep = append(keep, cr)
+			}
+		}
+		s.clauses = keep
+	}
+}
+
+// vivifyClause probes s.clauses[idx]. It reports whether the clause was
+// freed (its slot set to CRefUndef) and whether the database is still
+// consistent.
+func (s *Solver) vivifyClause(idx int) (dropped, consistent bool) {
+	cr := s.clauses[idx]
+	s.detach(cr)
+	lits := s.ca.lits(cr)
+
+	kept := s.learntBuf[:0]
+	satisfied := false // true literal at level 0: clause is redundant
+	truncated := false // prefix implies the clause: stop here
+	for _, qw := range lits {
+		l := Lit(qw)
+		switch s.value(l) {
+		case LTrue:
+			if s.varLevel(l.Var()) == 0 {
+				satisfied = true
+			} else {
+				kept = append(kept, l)
+				truncated = true
+			}
+		case LFalse:
+			continue // implied false by the prefix (or at level 0): drop
+		default:
+			s.newDecisionLevel()
+			s.uncheckedEnqueue(l.Neg(), CRefUndef)
+			kept = append(kept, l)
+			if s.propagate() != CRefUndef {
+				truncated = true
+			}
+		}
+		if satisfied || truncated {
+			break
+		}
+	}
+	s.cancelUntil(0)
+	defer func() { s.learntBuf = kept[:0] }()
+
+	if satisfied {
+		s.ca.free(cr)
+		s.clauses[idx] = CRefUndef
+		s.Stats.VivifiedLits += int64(len(lits))
+		return true, true
+	}
+	removed := len(lits) - len(kept)
+	if removed == 0 {
+		s.attach(cr)
+		return false, true
+	}
+	s.Stats.VivifiedLits += int64(removed)
+	switch len(kept) {
+	case 0:
+		// Every literal was false at level 0: the database is
+		// unsatisfiable (cannot normally happen — level-0 propagation
+		// is saturated on entry — but a derived unit mid-batch could
+		// in principle expose it).
+		s.ca.free(cr)
+		s.clauses[idx] = CRefUndef
+		return true, false
+	case 1:
+		s.ca.free(cr)
+		s.clauses[idx] = CRefUndef
+		if s.value(kept[0]) == LUndef {
+			s.uncheckedEnqueue(kept[0], CRefUndef)
+			if s.propagate() != CRefUndef {
+				return true, false
+			}
+		}
+		return true, true
+	default:
+		for i, l := range kept {
+			lits[i] = uint32(l)
+		}
+		s.ca.setSize(cr, len(kept))
+		s.attach(cr)
+		return false, true
+	}
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// DiagnosePortfolio is the racing variant of PoolEntry.Diagnose: the
+// warm session is forked once per portfolio configuration
+// (sat.PortfolioConfigs), every fork searches the same request under
+// its own configuration, and the first fork to finish wins — the
+// others are cancelled and drain promptly (the solver polls its
+// context every few dozen conflicts). winner reports the winning
+// configuration's name.
+//
+// Racing is sound because configurations are trajectory-only: a
+// completed enumeration's canonical solution set is identical under
+// every configuration, so whichever fork finishes first answers with
+// the same bytes the others would have. The forks keep the parent's
+// learnt clauses (Clone(true)), and the parent session itself is never
+// searched on — it only encodes missing test copies — so it stays warm
+// and unpoisoned for the next request regardless of how the race ends.
+func (e *PoolEntry) DiagnosePortfolio(ctx context.Context, tests circuit.TestSet, spec RunSpec) (rep *WarmReport, winner string, err error) {
+	if spec.K < 1 {
+		spec.K = 1
+	}
+	if len(tests) == 0 {
+		return nil, "", fmt.Errorf("service: portfolio diagnosis requires a non-empty test-set")
+	}
+	if spec.Solver != "" {
+		return nil, "", fmt.Errorf("service: a portfolio race cannot also pin solver %q", spec.Solver)
+	}
+	err = e.Run(func(sess *cnf.DiagSession, circ *circuit.Circuit) error {
+		rebuilt := false
+		if !sess.CanBound(spec.K) {
+			e.rebuild(NewWarmSession(circ, e.model, spec.K), spec.K)
+			sess = e.sess
+			rebuilt = true
+		}
+		active, encoded, encode := e.ensureTests(tests)
+		e.current = active
+		e.lastSpec = spec
+
+		configs := sat.PortfolioConfigs()
+		raceCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		type outcome struct {
+			rep  *WarmReport
+			err  error
+			name string
+		}
+		results := make(chan outcome, len(configs))
+		var wg sync.WaitGroup
+		for _, cfg := range configs {
+			fork := sess.ForkSession(true)
+			fork.Solver.SetSearchConfig(cfg)
+			wg.Add(1)
+			go func(cfg sat.SearchConfig, fork *cnf.DiagSession) {
+				defer wg.Done()
+				r, rerr := diagnoseActive(raceCtx, fork, active, spec)
+				results <- outcome{rep: r, err: rerr, name: cfg.Name}
+			}(cfg, fork)
+		}
+		// First finisher wins; the cancel tells the losers to stop. The
+		// loop still collects every outcome, so the race never leaks a
+		// goroutine past the request that started it.
+		var firstErr error
+		for range configs {
+			o := <-results
+			if o.err != nil {
+				if firstErr == nil {
+					firstErr = o.err
+				}
+				continue
+			}
+			if rep == nil {
+				rep, winner = o.rep, o.name
+				cancel()
+			}
+		}
+		wg.Wait()
+		if rep == nil {
+			return firstErr
+		}
+		rep.NewCopies = encoded
+		rep.Encode = encode
+		rep.Rebuilt = rebuilt
+		rep.Solver = winner
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return rep, winner, nil
+}

@@ -1,0 +1,151 @@
+package service_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func newPortfolioServer(t *testing.T) (*service.Server, *httptest.Server) {
+	t.Helper()
+	srv := service.NewServer(service.Options{
+		Scheduler: service.SchedulerOptions{Workers: 2, Queue: 64},
+		Portfolio: true,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestPortfolioEquivalence is the racing acceptance property: on a
+// portfolio-enabled server, raced answers must be byte-identical to
+// solver-pinned answers and to monolithic core.Diagnose — whichever
+// configuration wins the race. Solver-pinned and sharded requests must
+// not race.
+func TestPortfolioEquivalence(t *testing.T) {
+	_, ts := newPortfolioServer(t)
+	for seed := int64(1); seed <= 3; seed++ {
+		c, tests := scenario(t, seed*20, 6)
+		bench := benchText(t, c)
+		wire := testJSON(tests)
+		want := mustJSON(t, truth(t, bench, tests, 2, 1))
+
+		// Raced request (cold build, then a warm raced hit).
+		for round := 0; round < 2; round++ {
+			r := diagnose(t, ts.URL, service.DiagnoseRequest{Bench: bench, Tests: wire, K: 2})
+			if !r.Raced {
+				t.Fatalf("seed %d round %d: portfolio server did not race", seed, round)
+			}
+			if r.Solver != "default" && r.Solver != "gen2" {
+				t.Fatalf("seed %d: winner %q not a portfolio configuration", seed, r.Solver)
+			}
+			if !r.Complete {
+				t.Fatalf("seed %d: raced run incomplete without budgets", seed)
+			}
+			if got := mustJSON(t, r.Solutions); got != want {
+				t.Fatalf("seed %d raced (winner %s): %s != %s", seed, r.Solver, got, want)
+			}
+		}
+
+		// Solver-pinned requests bypass the race and still agree.
+		for _, solver := range []string{"default", "gen2"} {
+			r := diagnose(t, ts.URL, service.DiagnoseRequest{Bench: bench, Tests: wire, K: 2, Solver: solver})
+			if r.Raced {
+				t.Fatalf("seed %d: pinned %s request raced", seed, solver)
+			}
+			if r.Solver != solver {
+				t.Fatalf("seed %d: pinned request reports solver %q, want %q", seed, r.Solver, solver)
+			}
+			if got := mustJSON(t, r.Solutions); got != want {
+				t.Fatalf("seed %d pinned %s: %s != %s", seed, solver, got, want)
+			}
+		}
+
+		// Sharded requests already parallelize; they must not race either.
+		r := diagnose(t, ts.URL, service.DiagnoseRequest{Bench: bench, Tests: wire, K: 2, Shards: 2})
+		if r.Raced {
+			t.Fatalf("seed %d: sharded request raced", seed)
+		}
+		if got := mustJSON(t, r.Solutions); got != want {
+			t.Fatalf("seed %d sharded: %s != %s", seed, got, want)
+		}
+	}
+
+	// The race counters made it to /metrics, and every win is attributed.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	if !strings.Contains(body, "diag_portfolio_races_total 6") {
+		t.Fatalf("metrics missing race count:\n%s", body)
+	}
+	wins := int64(0)
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "diag_portfolio_wins_total{") {
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			wins += v
+		}
+	}
+	if wins != 6 {
+		t.Fatalf("portfolio wins sum to %d, want 6", wins)
+	}
+}
+
+// TestPortfolioUnknownSolver: an unknown configuration name is a 400 on
+// both the declarative and the incremental endpoint.
+func TestPortfolioUnknownSolver(t *testing.T) {
+	_, ts := newPortfolioServer(t)
+	c, tests := scenario(t, 7, 4)
+	req := service.DiagnoseRequest{Bench: benchText(t, c), Tests: testJSON(tests), K: 1, Solver: "no-such"}
+	if code, _ := post[service.DiagnoseResponse](t, ts.URL+"/diagnose", req); code != http.StatusBadRequest {
+		t.Fatalf("unknown solver -> %d, want 400", code)
+	}
+	if code, _ := post[service.DiagnoseResponse](t, ts.URL+"/sessions/s1/tests",
+		service.SessionTestsRequest{Solver: "no-such"}); code != http.StatusBadRequest {
+		t.Fatalf("incremental unknown solver -> %d, want 400", code)
+	}
+}
+
+// TestIncrementalSolverPin: an incremental edit can switch the solver
+// configuration; "" inherits the previous run's.
+func TestIncrementalSolverPin(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	c, tests := scenario(t, 11, 5)
+	bench := benchText(t, c)
+	wire := testJSON(tests)
+	want := mustJSON(t, truth(t, bench, tests, 2, 1))
+
+	first := diagnose(t, ts.URL, service.DiagnoseRequest{Bench: bench, Tests: wire, K: 2, Solver: "gen2"})
+	if first.Solver != "gen2" {
+		t.Fatalf("warm-start reports solver %q, want gen2", first.Solver)
+	}
+	if got := mustJSON(t, first.Solutions); got != want {
+		t.Fatalf("gen2 warm-start: %s != %s", got, want)
+	}
+
+	// Edit with no solver: inherits gen2. Then pin back to default.
+	code, inc := post[service.DiagnoseResponse](t, ts.URL+"/sessions/"+first.Session+"/tests",
+		service.SessionTestsRequest{Remove: []int{0}})
+	if code != http.StatusOK || inc.Solver != "gen2" {
+		t.Fatalf("inherit: code=%d solver=%q, want 200/gen2", code, inc.Solver)
+	}
+	code, inc2 := post[service.DiagnoseResponse](t, ts.URL+"/sessions/"+first.Session+"/tests",
+		service.SessionTestsRequest{Add: wire[:1], Solver: "default"})
+	if code != http.StatusOK || inc2.Solver != "default" {
+		t.Fatalf("re-pin: code=%d solver=%q, want 200/default", code, inc2.Solver)
+	}
+	if got := mustJSON(t, inc2.Solutions); got != want {
+		t.Fatalf("re-pinned incremental: %s != %s", got, want)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/sat"
 	"repro/internal/tgen"
 )
 
@@ -48,18 +49,31 @@ const degradedWindow = 30 * time.Second
 type Options struct {
 	Pool      PoolOptions
 	Scheduler SchedulerOptions
+
+	// Portfolio races every eligible warm bsat request across all search
+	// configurations (sat.PortfolioConfigs) on cloned sessions, first
+	// finisher wins. Requests that pin a solver or shard their
+	// enumeration run singly as before.
+	Portfolio bool
 }
 
 // Server is the diagnosis service: session pool + scheduler + the JSON
 // handlers. Create with NewServer, mount via Handler.
 type Server struct {
-	pool  *SessionPool
-	sched *Scheduler
-	start time.Time
+	pool      *SessionPool
+	sched     *Scheduler
+	start     time.Time
+	portfolio bool
 
 	requests  metrics.Counter
 	failures  metrics.Counter
 	latencies map[string]*metrics.Histogram // by response mode
+
+	// Portfolio racing counters: races run, and wins per configuration
+	// name (the map is fixed at construction — one counter per
+	// sat.PortfolioConfigs entry).
+	portfolioRaces metrics.Counter
+	portfolioWins  map[string]*metrics.Counter
 
 	// Fault-tolerance counters (tentpole of the robustness PR).
 	panicsRecovered   metrics.Counter // handler/attempt panics turned into errors
@@ -75,15 +89,21 @@ type Server struct {
 
 // NewServer assembles a service instance.
 func NewServer(opts Options) *Server {
+	wins := make(map[string]*metrics.Counter)
+	for _, cfg := range sat.PortfolioConfigs() {
+		wins[cfg.Name] = new(metrics.Counter)
+	}
 	return &Server{
-		pool:  NewSessionPool(opts.Pool),
-		sched: NewScheduler(opts.Scheduler),
-		start: time.Now(),
+		pool:      NewSessionPool(opts.Pool),
+		sched:     NewScheduler(opts.Scheduler),
+		start:     time.Now(),
+		portfolio: opts.Portfolio,
 		latencies: map[string]*metrics.Histogram{
 			"cold":        new(metrics.Histogram),
 			"warm":        new(metrics.Histogram),
 			"incremental": new(metrics.Histogram),
 		},
+		portfolioWins: wins,
 	}
 }
 
@@ -166,16 +186,37 @@ type DiagnoseRequest struct {
 	ForceZero bool   `json:"forceZero,omitempty"`
 	ConeOnly  bool   `json:"coneOnly,omitempty"`
 
+	// Solver pins the SAT search configuration ("default", "gen2"; "" =
+	// default — or a portfolio race when the server runs with one).
+	// Trajectory-only, so it is NOT part of the session key.
+	Solver string `json:"solver,omitempty"`
+
 	MaxSolutions int   `json:"maxSolutions,omitempty"`
 	MaxConflicts int64 `json:"maxConflicts,omitempty"`
 	TimeoutMs    int64 `json:"timeoutMs,omitempty"`
 }
 
 // SolverStatsJSON is the solver-work excerpt reported per response.
+// The gen2 counters stay zero under the default configuration.
 type SolverStatsJSON struct {
 	Decisions    int64 `json:"decisions"`
 	Conflicts    int64 `json:"conflicts"`
 	Propagations int64 `json:"propagations"`
+
+	LBDRestarts      int64 `json:"lbdRestarts,omitempty"`
+	VivifiedLits     int64 `json:"vivifiedLits,omitempty"`
+	ChronoBacktracks int64 `json:"chronoBacktracks,omitempty"`
+}
+
+func solverStatsJSON(st sat.Stats) SolverStatsJSON {
+	return SolverStatsJSON{
+		Decisions:        st.Decisions,
+		Conflicts:        st.Conflicts,
+		Propagations:     st.Propagations,
+		LBDRestarts:      st.LBDRestarts,
+		VivifiedLits:     st.VivifiedLits,
+		ChronoBacktracks: st.ChronoBacktracks,
+	}
 }
 
 // DiagnoseResponse is the /diagnose and /sessions/{id}/tests reply.
@@ -199,6 +240,12 @@ type DiagnoseResponse struct {
 	Shards    int             `json:"shards,omitempty"`
 	Stats     SolverStatsJSON `json:"stats"`
 	ElapsedMs float64         `json:"elapsedMs"`
+
+	// Solver is the search configuration that produced the answer; Raced
+	// marks it as the winner of a portfolio race (the solution bytes are
+	// configuration-invariant either way).
+	Solver string `json:"solver,omitempty"`
+	Raced  bool   `json:"raced,omitempty"`
 
 	// Degraded names why an incomplete run stopped (deadline,
 	// conflict-budget, solution-cap, cube-abandoned, budget). Empty on
@@ -395,7 +442,19 @@ func (req *DiagnoseRequest) runSpec() RunSpec {
 		Candidates:   req.Candidates,
 		MaxSolutions: req.MaxSolutions,
 		MaxConflicts: req.MaxConflicts,
+		Solver:       req.Solver,
 	}
+}
+
+// resolvedSolverName maps a wire solver name to the configuration name
+// reported back ("" reads as "default"). The name is validated before
+// any work runs, so resolution here cannot fail.
+func resolvedSolverName(name string) string {
+	cfg, err := sat.ConfigByName(name)
+	if err != nil {
+		return name
+	}
+	return cfg.Name
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -421,6 +480,11 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	encoding, err := parseEncoding(req.Encoding)
 	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := sat.ConfigByName(req.Solver); err != nil {
 		s.failures.Inc()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -492,7 +556,22 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 		return nil, err
 	}
 	defer s.pool.Release(entry)
-	rep, err := entry.Diagnose(ctx, tests, spec)
+	// A race needs an unpinned solver and a monolithic enumeration (the
+	// sharded path already parallelizes; racing it would oversubscribe).
+	raced := s.portfolio && spec.Solver == "" && spec.Shards <= 1
+	var rep *WarmReport
+	if raced {
+		var winner string
+		rep, winner, err = entry.DiagnosePortfolio(ctx, tests, spec)
+		if err == nil {
+			s.portfolioRaces.Inc()
+			if c := s.portfolioWins[winner]; c != nil {
+				c.Inc()
+			}
+		}
+	} else {
+		rep, err = entry.Diagnose(ctx, tests, spec)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -514,11 +593,9 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 		Vars:       rep.Vars,
 		Clauses:    rep.Clauses,
 		Shards:     countShards(rep.PerShard),
-		Stats: SolverStatsJSON{
-			Decisions:    rep.Stats.Decisions,
-			Conflicts:    rep.Stats.Conflicts,
-			Propagations: rep.Stats.Propagations,
-		},
+		Stats:      solverStatsJSON(rep.Stats),
+		Solver:     rep.Solver,
+		Raced:      raced,
 	}
 	s.annotateFaults(ctx, resp, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
 	return resp, nil
@@ -541,6 +618,7 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 		Encoding:     encoding,
 		ForceZero:    req.ForceZero,
 		ConeOnly:     req.ConeOnly,
+		Solver:       req.Solver,
 	})
 	if err != nil {
 		return nil, err
@@ -559,11 +637,8 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 		Vars:       rep.Vars,
 		Clauses:    rep.Clauses,
 		Shards:     countShards(rep.PerShard),
-		Stats: SolverStatsJSON{
-			Decisions:    rep.Stats.Decisions,
-			Conflicts:    rep.Stats.Conflicts,
-			Propagations: rep.Stats.Propagations,
-		},
+		Stats:      solverStatsJSON(rep.Stats),
+		Solver:     resolvedSolverName(req.Solver),
 	}
 	s.annotateFaults(ctx, resp, rep.PerShard, req.MaxSolutions, req.MaxConflicts)
 	return resp, nil
@@ -576,13 +651,14 @@ type SessionTestsRequest struct {
 	Add    []TestJSON `json:"add,omitempty"`
 	Remove []int      `json:"remove,omitempty"` // positions in the current test list
 
-	K            int   `json:"k,omitempty"`
-	Shards       int   `json:"shards,omitempty"`
-	SampleCap    int   `json:"sampleCap,omitempty"`
-	Candidates   []int `json:"candidates,omitempty"`
-	MaxSolutions int   `json:"maxSolutions,omitempty"`
-	MaxConflicts int64 `json:"maxConflicts,omitempty"`
-	TimeoutMs    int64 `json:"timeoutMs,omitempty"`
+	K            int    `json:"k,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
+	SampleCap    int    `json:"sampleCap,omitempty"`
+	Candidates   []int  `json:"candidates,omitempty"`
+	MaxSolutions int    `json:"maxSolutions,omitempty"`
+	MaxConflicts int64  `json:"maxConflicts,omitempty"`
+	TimeoutMs    int64  `json:"timeoutMs,omitempty"`
+	Solver       string `json:"solver,omitempty"` // "" inherits the previous run's
 }
 
 func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
@@ -593,6 +669,11 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.failures.Inc()
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if _, err := sat.ConfigByName(req.Solver); err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	entry, ok := s.pool.ByID(id)
@@ -615,6 +696,7 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 		Candidates:   req.Candidates,
 		MaxSolutions: req.MaxSolutions,
 		MaxConflicts: req.MaxConflicts,
+		Solver:       req.Solver,
 	}
 
 	ctx, cancel := s.sched.RequestContext(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -645,11 +727,8 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 				Vars:       rep.Vars,
 				Clauses:    rep.Clauses,
 				Shards:     countShards(rep.PerShard),
-				Stats: SolverStatsJSON{
-					Decisions:    rep.Stats.Decisions,
-					Conflicts:    rep.Stats.Conflicts,
-					Propagations: rep.Stats.Propagations,
-				},
+				Stats:      solverStatsJSON(rep.Stats),
+				Solver:     rep.Solver,
 			}
 			s.annotateFaults(ctx, r, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
 			return r, nil
@@ -808,6 +887,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.WritePromValue(w, "diag_cube_retries", "", s.cubeRetries.Value())
 	metrics.WritePromValue(w, "diag_degraded_responses", "", s.degradedResponses.Value())
 	metrics.WritePromValue(w, "diag_request_retries_total", "", s.requestRetries.Value())
+	metrics.WritePromValue(w, "diag_portfolio_races_total", "", s.portfolioRaces.Value())
+	for _, cfg := range sat.PortfolioConfigs() {
+		if c := s.portfolioWins[cfg.Name]; c != nil {
+			metrics.WritePromValue(w, "diag_portfolio_wins_total", fmt.Sprintf("config=%q", cfg.Name), c.Value())
+		}
+	}
 	s.sched.QueueWait.WriteProm(w, "diag_queue_wait_seconds", "")
 	for mode, h := range s.latencies {
 		h.WriteProm(w, "diag_request_seconds", fmt.Sprintf("mode=%q", mode))
@@ -827,6 +912,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.WritePromValue(w, "diag_session_conflicts", l, info.Stats.Solver.Conflicts)
 		metrics.WritePromValue(w, "diag_session_decisions", l, info.Stats.Solver.Decisions)
 		metrics.WritePromValue(w, "diag_session_propagations", l, info.Stats.Solver.Propagations)
+		metrics.WritePromValue(w, "diag_session_lbd_restarts", l, info.Stats.Solver.LBDRestarts)
+		metrics.WritePromValue(w, "diag_session_vivified_lits", l, info.Stats.Solver.VivifiedLits)
+		metrics.WritePromValue(w, "diag_session_chrono_backtracks", l, info.Stats.Solver.ChronoBacktracks)
 	}
 }
 

@@ -29,6 +29,11 @@ type RunSpec struct {
 	MaxSolutions int
 	MaxConflicts int64
 	Timeout      time.Duration
+	// Solver names the search configuration ("default", "gen2"; "" =
+	// default). Trajectory-only: the solution set is configuration-
+	// invariant, which is why it is NOT part of the session key — one
+	// warm session serves any configuration back to back.
+	Solver string
 }
 
 // WarmReport is the outcome of a warm or incremental run. Solutions are
@@ -48,6 +53,7 @@ type WarmReport struct {
 	Encode    time.Duration // time spent encoding missing copies
 	Solve     time.Duration // enumeration wall time
 	Rebuilt   bool          // the session was rebuilt for a wider ladder
+	Solver    string        // search configuration that produced the answer
 }
 
 // NewWarmSession builds the long-lived session a pool entry keeps warm:
@@ -94,6 +100,10 @@ func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec Ru
 		active, encoded, encode := e.ensureTests(tests)
 		e.current = active
 		e.lastSpec = spec
+		solver, err := applySolver(sess, spec.Solver)
+		if err != nil {
+			return err
+		}
 		r, err := diagnoseActive(ctx, sess, active, spec)
 		if err != nil {
 			return err
@@ -101,6 +111,7 @@ func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec Ru
 		r.NewCopies = encoded
 		r.Encode = encode
 		r.Rebuilt = rebuilt
+		r.Solver = solver
 		rep = r
 		return nil
 	})
@@ -143,6 +154,9 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		if spec.Timeout > 0 {
 			merged.Timeout = spec.Timeout
 		}
+		if spec.Solver != "" {
+			merged.Solver = spec.Solver
+		}
 		if !sess.CanBound(merged.K) {
 			return fmt.Errorf("service: incremental k=%d exceeds the session ladder (max %d); send a fresh /diagnose", merged.K, e.maxK)
 		}
@@ -170,12 +184,17 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		}
 		e.current = next
 		e.lastSpec = merged
+		solver, err := applySolver(sess, merged.Solver)
+		if err != nil {
+			return err
+		}
 		r, err := diagnoseActive(ctx, sess, next, merged)
 		if err != nil {
 			return err
 		}
 		r.NewCopies = encoded
 		r.Encode = encode
+		r.Solver = solver
 		rep = r
 		for _, ci := range next {
 			activeTests = append(activeTests, sess.Tests[ci])
@@ -207,6 +226,19 @@ func (e *PoolEntry) ensureTests(tests circuit.TestSet) (active []int, encoded in
 		encode = time.Since(start)
 	}
 	return active, encoded, encode
+}
+
+// applySolver pins the session's search configuration for this request
+// and returns the resolved name. "" resolves to the default, so a
+// previous request's configuration never leaks into the next one on a
+// shared warm session.
+func applySolver(sess *cnf.DiagSession, name string) (string, error) {
+	cfg, err := sat.ConfigByName(name)
+	if err != nil {
+		return "", err
+	}
+	sess.Solver.SetSearchConfig(cfg)
+	return cfg.Name, nil
 }
 
 // diagnoseActive runs one enumeration round over the given active
