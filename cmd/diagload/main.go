@@ -51,6 +51,7 @@ type config struct {
 	k        int
 	shards   []int    // each request draws one uniformly
 	engines  []string // each request draws one uniformly ("" = bsat)
+	enums    []string // enumeration-mode mix; each request draws one
 	n        int
 	clients  int
 	zipf     float64
@@ -70,6 +71,7 @@ func main() {
 		k         = flag.Int("k", 0, "correction size limit (0 = number of injected errors)")
 		shards    = flag.String("shards", "1", "comma-separated shard counts; each request draws one")
 		engines   = flag.String("engines", "bsat", "comma-separated engine mix; each request draws one")
+		enums     = flag.String("enums", "legacy,projected", "comma-separated enumeration-mode mix; each request draws one")
 		n         = flag.Int("n", 50, "total requests")
 		clients   = flag.Int("c", 4, "concurrent clients")
 		zipf      = flag.Float64("zipf", 1.2, "circuit popularity skew (<=1 = uniform)")
@@ -92,7 +94,7 @@ func main() {
 	cfg := config{
 		addr: strings.TrimRight(*addr, "/"), circuits: splitList(*circuits),
 		inject: *inject, seed: *seed, tests: *tests, k: *k,
-		shards: shardList, engines: splitList(*engines),
+		shards: shardList, engines: splitList(*engines), enums: splitList(*enums),
 		n: *n, clients: *clients, zipf: *zipf, coldFrac: *coldFrac,
 		reps: *reps, minSpeed: *minSpeed, out: os.Stdout,
 	}
@@ -104,6 +106,9 @@ func main() {
 	}
 	if len(cfg.shards) == 0 {
 		cfg.shards = []int{1}
+	}
+	if len(cfg.enums) == 0 {
+		cfg.enums = []string{"legacy"}
 	}
 	switch {
 	case *smoke:
@@ -233,7 +238,10 @@ func postJSON[T any](base, path string, body any) (T, error) {
 	return out, nil
 }
 
-func (cfg config) request(wl workload, mode, engine string, shards int) service.DiagnoseRequest {
+func (cfg config) request(wl workload, mode, engine string, shards int, enum string) service.DiagnoseRequest {
+	if enum == "legacy" {
+		enum = "" // the wire zero value; keeps old servers compatible
+	}
 	return service.DiagnoseRequest{
 		Bench:  wl.bench,
 		Tests:  wl.tests,
@@ -241,12 +249,13 @@ func (cfg config) request(wl workload, mode, engine string, shards int) service.
 		Shards: shards,
 		Engine: engine,
 		Mode:   mode,
+		Enum:   enum,
 	}
 }
 
 // base is the single-choice request the smoke/compare paths use.
 func (cfg config) base(wl workload, mode string) service.DiagnoseRequest {
-	return cfg.request(wl, mode, cfg.engines[0], cfg.shards[0])
+	return cfg.request(wl, mode, cfg.engines[0], cfg.shards[0], "legacy")
 }
 
 // fetchMetric scrapes one plain sample from /metrics.
@@ -287,8 +296,8 @@ func runLoad(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(cfg.out, "workloads: %d circuits, %d tests each, k=%d, engines=%v, shards=%v\n",
-		len(loads), cfg.tests, cfg.k, cfg.engines, cfg.shards)
+	fmt.Fprintf(cfg.out, "workloads: %d circuits, %d tests each, k=%d, engines=%v, shards=%v, enums=%v\n",
+		len(loads), cfg.tests, cfg.k, cfg.engines, cfg.shards, cfg.enums)
 
 	type sample struct {
 		d    time.Duration
@@ -296,6 +305,10 @@ func runLoad(cfg config) error {
 		hit  bool
 	}
 	samples := make([]sample, cfg.n)
+	var enumStats struct {
+		sync.Mutex
+		earlyTerms, continueBJ, skipped int64
+	}
 	var idx struct {
 		sync.Mutex
 		next int
@@ -333,13 +346,19 @@ func runLoad(cfg config) error {
 				}
 				engine := cfg.engines[r.Intn(len(cfg.engines))]
 				shards := cfg.shards[r.Intn(len(cfg.shards))]
+				enum := cfg.enums[r.Intn(len(cfg.enums))]
 				t0 := time.Now()
-				resp, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.request(wl, mode, engine, shards))
+				resp, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.request(wl, mode, engine, shards, enum))
 				if err != nil {
 					errs <- err
 					return
 				}
 				samples[i] = sample{d: time.Since(t0), mode: resp.Mode, hit: resp.PoolHit}
+				enumStats.Lock()
+				enumStats.earlyTerms += resp.Stats.EarlyTerms
+				enumStats.continueBJ += resp.Stats.ContinueBackjumps
+				enumStats.skipped += resp.Stats.SkippedDecisions
+				enumStats.Unlock()
 			}
 		}(c)
 	}
@@ -371,6 +390,8 @@ func runLoad(cfg config) error {
 		fmt.Fprintf(cfg.out, "  %-11s n=%-4d p50=%-10v p99=%v\n",
 			m, len(ds), quantile(ds, 0.50).Round(time.Microsecond), quantile(ds, 0.99).Round(time.Microsecond))
 	}
+	fmt.Fprintf(cfg.out, "  projected enumeration: earlyTerms=%d continueBackjumps=%d skippedDecisions=%d\n",
+		enumStats.earlyTerms, enumStats.continueBJ, enumStats.skipped)
 	for _, name := range []string{"diag_pool_hits_total", "diag_pool_misses_total", "diag_pool_evictions_total"} {
 		if v, err := fetchMetric(cfg.addr, name); err == nil {
 			fmt.Fprintf(cfg.out, "  %s %d\n", name, v)
@@ -407,6 +428,24 @@ func runSmoke(cfg config) error {
 	if !bytes.Equal(a, b) {
 		return fmt.Errorf("smoke: warm solutions diverged:\n cold %s\n warm %s", a, b)
 	}
+	// Projected-mode request on the same warm session: identical bytes,
+	// and the mode must actually engage (non-zero early terminations).
+	preq := cfg.base(wl, "")
+	preq.Enum = "projected"
+	proj, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", preq)
+	if err != nil {
+		return err
+	}
+	if !proj.PoolHit {
+		return fmt.Errorf("smoke: projected request missed the pool (mode=%s)", proj.Mode)
+	}
+	p, _ := json.Marshal(proj.Solutions)
+	if !bytes.Equal(a, p) {
+		return fmt.Errorf("smoke: projected solutions diverged:\n legacy    %s\n projected %s", a, p)
+	}
+	if len(proj.Solutions) > 0 && proj.Stats.EarlyTerms == 0 {
+		return fmt.Errorf("smoke: projected mode did not engage (earlyTerms=0, stats %+v)", proj.Stats)
+	}
 	hitsMetric, err := fetchMetric(cfg.addr, "diag_pool_hits_total")
 	if err != nil {
 		return err
@@ -414,8 +453,9 @@ func runSmoke(cfg config) error {
 	if hitsMetric < 1 {
 		return fmt.Errorf("smoke: /metrics reports %d pool hits, want >= 1", hitsMetric)
 	}
-	fmt.Fprintf(cfg.out, "smoke ok: %s cold %.1fms -> warm %.1fms (pool hit, %d solutions identical)\n",
-		wl.name, cold.ElapsedMs, warm.ElapsedMs, len(warm.Solutions))
+	fmt.Fprintf(cfg.out, "smoke ok: %s cold %.1fms -> warm %.1fms -> projected %.1fms (pool hit, %d solutions identical, earlyTerms=%d continueBackjumps=%d)\n",
+		wl.name, cold.ElapsedMs, warm.ElapsedMs, proj.ElapsedMs, len(warm.Solutions),
+		proj.Stats.EarlyTerms, proj.Stats.ContinueBackjumps)
 	return nil
 }
 
@@ -556,12 +596,14 @@ func runChaos(cfg config) error {
 			return err
 		}
 	}
-	fmt.Fprintf(cfg.out, "chaos: %d circuits, %d requests, %d clients, shards=%v\n",
-		len(loads), cfg.n, cfg.clients, cfg.shards)
+	fmt.Fprintf(cfg.out, "chaos: %d circuits, %d requests, %d clients, shards=%v, enums=%v\n",
+		len(loads), cfg.n, cfg.clients, cfg.shards, cfg.enums)
 
 	var mu sync.Mutex
 	codes := map[int]int{}
 	completed, degraded := 0, 0
+	completedProjected := 0
+	earlyTerms := int64(0)
 	var mismatches []string
 	var transport []error
 
@@ -590,7 +632,8 @@ func runChaos(cfg config) error {
 					mode = "cold"
 				}
 				shards := cfg.shards[r.Intn(len(cfg.shards))]
-				req := cfg.request(wl, mode, cfg.engines[r.Intn(len(cfg.engines))], shards)
+				enum := cfg.enums[r.Intn(len(cfg.enums))]
+				req := cfg.request(wl, mode, cfg.engines[r.Intn(len(cfg.engines))], shards, enum)
 				// A minimal sample stage pushes sharded work onto the
 				// cube workers, where the cnf/cube failpoints live.
 				req.SampleCap = 1
@@ -605,9 +648,13 @@ func runChaos(cfg config) error {
 				case resp.Complete:
 					completed++
 					codes[code]++
+					if enum == "projected" {
+						completedProjected++
+						earlyTerms += resp.Stats.EarlyTerms
+					}
 					if got, _ := json.Marshal(resp.Solutions); string(got) != want[li] {
 						mismatches = append(mismatches,
-							fmt.Sprintf("%s shards=%d: %s != %s", wl.name, shards, got, want[li]))
+							fmt.Sprintf("%s shards=%d enum=%s: %s != %s", wl.name, shards, enum, got, want[li]))
 					}
 				default:
 					degraded++
@@ -647,6 +694,11 @@ func runChaos(cfg config) error {
 	}
 	if faults == 0 {
 		return fmt.Errorf("chaos: no fault observed in the counters — are the server's failpoints armed?")
+	}
+	fmt.Fprintf(cfg.out, "  projected: %d completed, earlyTerms=%d\n", completedProjected, earlyTerms)
+	if completedProjected > 0 && earlyTerms == 0 {
+		return fmt.Errorf("chaos: %d projected responses completed but the mode never engaged (earlyTerms=0)",
+			completedProjected)
 	}
 	if _, err := http.Get(cfg.addr + "/healthz"); err != nil {
 		return fmt.Errorf("chaos: server unreachable after run: %w", err)

@@ -71,6 +71,14 @@ type DiagOptions struct {
 	// including a different one per shard worker — yields the same
 	// canonical diagnosis sets.
 	Search sat.SearchConfig
+
+	// Enum is the session's default enumeration mode for rounds that do
+	// not set RoundOptions.Enum themselves (sat.EnumProjected enables
+	// early model termination and blocked-continue search). Under the
+	// ladder discipline every pass enumerates an antichain of size-k
+	// solutions, so the mode changes the trajectory, never the canonical
+	// solution set.
+	Enum sat.EnumMode
 }
 
 // Instance is a built diagnosis SAT instance. It is the same object as

@@ -1,0 +1,82 @@
+package cnf_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// TestEnumModeMatchesLegacy: a projected-mode round must enumerate the
+// exact same solution set as the legacy round on the same session — the
+// ladder discipline makes each k-pass an antichain, so early termination
+// and blocked-continue change only the trajectory. The projected run
+// must also actually engage (non-zero early-termination counter).
+func TestEnumModeMatchesLegacy(t *testing.T) {
+	for _, start := range []int64{1, 40, 80} {
+		c, tests := shardScenario(t, start, 6)
+		sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+
+		legacy := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
+		before := sess.Solver.Statistics()
+		projected := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2, Enum: sat.EnumProjected})
+		delta := sess.Solver.Statistics().Sub(before)
+
+		if !sameKeys(projected, legacy) {
+			t.Fatalf("start %d: projected %v != legacy %v", start, projected, legacy)
+		}
+		if len(legacy) > 0 && delta.EarlyTerms == 0 {
+			t.Fatalf("start %d: projected round never early-terminated (%d solutions)", start, len(legacy))
+		}
+		if len(legacy) > 0 && delta.ContinueBackjumps == 0 {
+			t.Fatalf("start %d: projected round never blocked-continued", start)
+		}
+	}
+}
+
+// TestEnumModeSessionDefault: DiagOptions.Enum sets the session-wide
+// default a zero-valued RoundOptions.Enum falls back to, and an explicit
+// per-round mode is honored regardless.
+func TestEnumModeSessionDefault(t *testing.T) {
+	c, tests := shardScenario(t, 1, 6)
+	reference := roundKeys(t, cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2}),
+		cnf.RoundOptions{MaxK: 2})
+
+	sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2, Enum: sat.EnumProjected})
+	before := sess.Solver.Statistics()
+	got := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
+	delta := sess.Solver.Statistics().Sub(before)
+	if !sameKeys(got, reference) {
+		t.Fatalf("session-default projected %v != legacy %v", got, reference)
+	}
+	if len(reference) > 0 && delta.EarlyTerms == 0 {
+		t.Fatal("session default did not reach the solver (no early terminations)")
+	}
+}
+
+// TestShardedProjectedMatchesMonolithic: the merged output of a sharded
+// projected enumeration must be byte-identical (order included) to the
+// single-shard legacy run — the mode flows into the sample stage and
+// every cube worker through the copied RoundOptions.
+func TestShardedProjectedMatchesMonolithic(t *testing.T) {
+	for _, start := range []int64{1, 40} {
+		c, tests := shardScenario(t, start, 6)
+		sess := cnf.BuildDiag(c, tests, cnf.DiagOptions{MaxK: 2})
+
+		base := shardedKeys(t, sess, 1, cnf.RoundOptions{MaxK: 2})
+		mono := roundKeys(t, sess, cnf.RoundOptions{MaxK: 2})
+		for _, n := range []int{2, 3, 4} {
+			got := shardedKeys(t, sess, n, cnf.RoundOptions{MaxK: 2, SampleCap: 1, Enum: sat.EnumProjected})
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("start %d shards %d projected: %v != legacy shards 1 %v", start, n, got, base)
+			}
+			asSet := append([]string(nil), got...)
+			sort.Strings(asSet)
+			if !sameKeys(asSet, mono) {
+				t.Fatalf("start %d shards %d projected set %v != monolithic %v", start, n, asSet, mono)
+			}
+		}
+	}
+}

@@ -469,6 +469,12 @@ type RoundOptions struct {
 	// solution set, so a mixed-config sharded run still merges to the
 	// canonical monolithic answer. Ignored by EnumerateRound.
 	WorkerConfigs []sat.SearchConfig
+	// Enum selects the enumeration mode of every EnumerateProjected call
+	// in the round (sat.EnumLegacy or sat.EnumProjected). The zero value
+	// falls back to the session default (DiagOptions.Enum). Like search
+	// configurations, the mode is trajectory-only under the ladder
+	// discipline: the canonical solution set is identical.
+	Enum sat.EnumMode
 }
 
 // ErrLadderWidth reports a round limit the session's ladder cannot
@@ -520,6 +526,11 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 	}
 	base = append(base, sess.ActivationAssumps(opts.ActiveTests)...)
 
+	mode := opts.Enum
+	if mode == sat.EnumLegacy {
+		mode = sess.opts.Enum
+	}
+
 	total := 0
 	for k := 1; k <= maxK; k++ {
 		remaining := 0
@@ -535,6 +546,7 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 			Ctx:          opts.Ctx,
 			MaxSolutions: remaining,
 			BlockExtra:   []sat.Lit{r.Guard().Neg()},
+			Mode:         mode,
 		}, func(trueLits []sat.Lit) bool {
 			return fn == nil || fn(k, sess.gatesOf(trueLits))
 		})

@@ -43,6 +43,14 @@ type BSATOptions struct {
 	// rejected (sat.ConfigByName).
 	Solver string
 
+	// Enum names the enumeration mode ("legacy", "projected"; "" =
+	// legacy). The projected mode terminates each model at the
+	// projection frontier and resumes search in place after blocking —
+	// trajectory-only under the ladder discipline, so the solution set
+	// and its canonical order are mode-invariant. Unknown names are
+	// rejected (sat.EnumModeByName).
+	Enum string
+
 	// Golden, when set, constrains all outputs of every copy to the
 	// specification values, not only the erroneous one.
 	Golden *circuit.Circuit
@@ -88,6 +96,10 @@ func (o BSATOptions) diagOptions() (cnf.DiagOptions, error) {
 	if err != nil {
 		return cnf.DiagOptions{}, err
 	}
+	enum, err := sat.EnumModeByName(o.Enum)
+	if err != nil {
+		return cnf.DiagOptions{}, err
+	}
 	return cnf.DiagOptions{
 		Candidates:  o.Candidates,
 		Groups:      o.Groups,
@@ -98,6 +110,7 @@ func (o BSATOptions) diagOptions() (cnf.DiagOptions, error) {
 		ConeOnly:    o.ConeOnly,
 		Golden:      o.Golden,
 		Search:      search,
+		Enum:        enum,
 	}, nil
 }
 

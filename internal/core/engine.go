@@ -56,6 +56,12 @@ type Request struct {
 	// order are configuration-invariant. Ignored by bsim/cov.
 	Solver string
 
+	// Enum names the enumeration mode ("legacy", "projected"; "" =
+	// legacy). Trajectory-only under the ladder discipline: the solution
+	// set and its canonical order are mode-invariant. Ignored by
+	// bsim/cov.
+	Enum string
+
 	// PT configures the path-tracing stage of bsim, cov and hybrid.
 	PT PTOptions
 	// CovEngine selects the covering enumerator of cov.
@@ -190,6 +196,7 @@ func (req Request) bsatOptions(ctx context.Context) BSATOptions {
 		ForceZero:    req.ForceZero,
 		ConeOnly:     req.ConeOnly,
 		Solver:       req.Solver,
+		Enum:         req.Enum,
 		MaxSolutions: req.MaxSolutions,
 		MaxConflicts: req.MaxConflicts,
 		Timeout:      req.Timeout,

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestEnumModeEquivalenceCore: the projected enumeration mode must leave
+// the BSAT and CEGAR solution sets byte-identical to legacy runs — the
+// mode rides the session default (BSATOptions.diagOptions), so one knob
+// covers the monolithic, sharded and refinement-driven drivers alike.
+func TestEnumModeEquivalenceCore(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		sc := makeScenario(t, seed, 1+int(seed%2), 6)
+		if sc == nil {
+			continue
+		}
+		legacy, err := BSAT(sc.faulty, sc.tests, BSATOptions{K: sc.k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !legacy.Complete {
+			continue
+		}
+		proj, err := BSAT(sc.faulty, sc.tests, BSATOptions{K: sc.k, Enum: "projected"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameSolutions(&legacy.SolutionSet, &proj.SolutionSet) {
+			t.Fatalf("seed %d: projected %v != legacy %v", seed, proj.Solutions, legacy.Solutions)
+		}
+		if len(legacy.Solutions) > 0 && proj.Stats.EarlyTerms == 0 {
+			t.Fatalf("seed %d: projected BSAT never early-terminated", seed)
+		}
+		sharded, err := BSAT(sc.faulty, sc.tests, BSATOptions{K: sc.k, Enum: "projected", Shards: 2, ShardSample: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Complete && !SameSolutions(&legacy.SolutionSet, &sharded.SolutionSet) {
+			t.Fatalf("seed %d: sharded projected %v != legacy %v", seed, sharded.Solutions, legacy.Solutions)
+		}
+		cegar, err := CEGARDiagnose(sc.faulty, sc.tests, BSATOptions{K: sc.k, Enum: "projected"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cegar.Complete && !SameSolutions(&legacy.SolutionSet, &cegar.SolutionSet) {
+			t.Fatalf("seed %d: cegar projected %v != legacy %v", seed, cegar.Solutions, legacy.Solutions)
+		}
+	}
+
+	if _, err := BSAT(nil, nil, BSATOptions{K: 1, Enum: "nope"}); err == nil {
+		t.Fatal("unknown enum mode accepted")
+	}
+}

@@ -53,6 +53,11 @@ type goldenRecord struct {
 	LBDRestarts int64 `json:"lbdRestarts,omitempty"`
 	Vivified    int64 `json:"vivifiedLits,omitempty"`
 	ChronoBTs   int64 `json:"chronoBacktracks,omitempty"`
+	// Projected-enumeration counters (always zero under the legacy
+	// enumeration mode, so the older recordings stay byte-identical).
+	EarlyTerms int64 `json:"earlyTerms,omitempty"`
+	ContinueBJ int64 `json:"continueBackjumps,omitempty"`
+	Skipped    int64 `json:"skippedDecisions,omitempty"`
 }
 
 // goldenCase is one deterministic workload: build the instance, drive
@@ -90,6 +95,9 @@ func snapshot(name string, s *Solver, st Status) goldenRecord {
 		LBDRestarts:  s.Stats.LBDRestarts,
 		Vivified:     s.Stats.VivifiedLits,
 		ChronoBTs:    s.Stats.ChronoBacktracks,
+		EarlyTerms:   s.Stats.EarlyTerms,
+		ContinueBJ:   s.Stats.ContinueBackjumps,
+		Skipped:      s.Stats.SkippedDecisions,
 	}
 	if st == StatusSat {
 		var sb strings.Builder
@@ -390,8 +398,14 @@ func TestDifferentialGolden(t *testing.T) {
 // against one golden recording (shared by the pre-arena/default and the
 // gen2 suites; -update-golden rewrites whichever recordings run).
 func runGoldenSuite(t *testing.T, goldenPath string, sc SearchConfig) {
+	runGoldenCases(t, goldenPath, goldenCorpus(sc))
+}
+
+// runGoldenCases replays an explicit case list against one golden
+// recording (the projected-enumeration suite supplies its own corpus).
+func runGoldenCases(t *testing.T, goldenPath string, cases []goldenCase) {
 	var got []goldenRecord
-	for _, c := range goldenCorpus(sc) {
+	for _, c := range cases {
 		got = append(got, c.run())
 	}
 	if *updateGolden {

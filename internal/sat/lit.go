@@ -125,6 +125,10 @@ type Stats struct {
 	LBDRestarts      int64 // restarts fired by the LBD-EMA trigger
 	VivifiedLits     int64 // literals removed by clause vivification
 	ChronoBacktracks int64 // deep backjumps converted to one-level backtracks
+	// Projected-enumeration counters (zero under the legacy mode).
+	EarlyTerms        int64 // models declared before the free suffix was assigned
+	ContinueBackjumps int64 // blocked-continue backjumps (re-solves avoided)
+	SkippedDecisions  int64 // variables left unassigned at early termination
 }
 
 // Add returns the field-wise sum s + o. Sharded enumeration uses it to
@@ -144,6 +148,10 @@ func (s Stats) Add(o Stats) Stats {
 		LBDRestarts:      s.LBDRestarts + o.LBDRestarts,
 		VivifiedLits:     s.VivifiedLits + o.VivifiedLits,
 		ChronoBacktracks: s.ChronoBacktracks + o.ChronoBacktracks,
+
+		EarlyTerms:        s.EarlyTerms + o.EarlyTerms,
+		ContinueBackjumps: s.ContinueBackjumps + o.ContinueBackjumps,
+		SkippedDecisions:  s.SkippedDecisions + o.SkippedDecisions,
 	}
 }
 
@@ -165,6 +173,10 @@ func (s Stats) Sub(o Stats) Stats {
 		LBDRestarts:      s.LBDRestarts - o.LBDRestarts,
 		VivifiedLits:     s.VivifiedLits - o.VivifiedLits,
 		ChronoBacktracks: s.ChronoBacktracks - o.ChronoBacktracks,
+
+		EarlyTerms:        s.EarlyTerms - o.EarlyTerms,
+		ContinueBackjumps: s.ContinueBackjumps - o.ContinueBackjumps,
+		SkippedDecisions:  s.SkippedDecisions - o.SkippedDecisions,
 	}
 }
 

@@ -86,6 +86,15 @@ type Solver struct {
 	// batches (index into s.clauses, clamped modulo its length).
 	vivifyHead int
 
+	// Projected-enumeration state (enummode.go): the satisfaction
+	// tracker behind EnumProjected, plus the reusable blocking-clause
+	// and projection buffers that keep the enumeration loops
+	// allocation-free in steady state. Clone starts these fresh — the
+	// tracker is armed per EnumerateProjected call, never across forks.
+	enum     enumTracker
+	blockBuf []Lit
+	projBuf  []Lit
+
 	Stats Stats
 
 	maxLearnts    float64
@@ -205,7 +214,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	// Sort, dedupe, drop false literals, detect satisfied/tautological.
+	// The scratch is stored back so a growth here (possible while the
+	// database is still conflict-free and analyze has never sized it)
+	// happens once per session, not once per call.
 	ls := append(s.learntBuf[:0], lits...)
+	s.learntBuf = ls
 	insertionSortLits(ls)
 	out := ls[:0]
 	var prev Lit = LitUndef
@@ -283,6 +296,9 @@ func (s *Solver) uncheckedEnqueue(l Lit, from CRef) {
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
+	if s.enum.active && s.enum.isProj[v] {
+		s.enum.projUnassigned--
+	}
 }
 
 // propagate performs unit propagation over the trail; it returns the
@@ -392,6 +408,15 @@ func (s *Solver) cancelUntil(lvl int) {
 		}
 		s.assigns[v] = LUndef
 		s.reason[v] = CRefUndef
+		if s.enum.active {
+			if s.enum.isProj[v] {
+				s.enum.projUnassigned++
+				s.enum.projOrder.insert(v, s.activity)
+			} else if s.enum.dampSkip {
+				s.enum.damped++
+				continue
+			}
+		}
 		s.order.insert(v, s.activity)
 	}
 	s.trail = s.trail[:bound]
@@ -408,6 +433,9 @@ func (s *Solver) bumpVarBy(v Var, inc float64) {
 		s.varInc *= 1e-100
 	}
 	s.order.update(v, s.activity)
+	if s.enum.active {
+		s.enum.projOrder.update(v, s.activity)
+	}
 }
 
 func (s *Solver) bumpClause(cr CRef) {
@@ -849,7 +877,23 @@ func (s *Solver) search(nConflicts int) Status {
 				return StatusUnsat
 			}
 			learnt, bt := s.analyze(confl)
-			if s.cfg.ChronoBT > 0 && len(learnt) > 1 && s.decisionLevel()-bt >= s.cfg.ChronoBT {
+			chronoBT := s.cfg.ChronoBT
+			if s.enum.active && (chronoBT == 0 || chronoBT > enumChronoBT) &&
+				len(s.trail) >= enumFatLevel*s.decisionLevel() {
+				// The projected mode compresses the search into few,
+				// densely populated decision levels (the projection
+				// prefix plus a clause-directed completion), so a
+				// non-chronological backjump routinely unwinds — and
+				// forces re-propagating — thousands of trail literals.
+				// Backtracking chronologically past a modest distance
+				// keeps that mass intact; the learnt clause stays
+				// asserting one level down, so this is trajectory-only.
+				// The density gate keeps the override away from
+				// instances with ordinary thin levels, where limiting
+				// backjumps only slows learning down.
+				chronoBT = enumChronoBT
+			}
+			if chronoBT > 0 && len(learnt) > 1 && s.decisionLevel()-bt >= chronoBT {
 				// Chronological backtracking: the backjump would unwind
 				// ChronoBT+ levels; step back a single level instead. The
 				// learnt clause is still asserting there (every
@@ -927,14 +971,64 @@ func (s *Solver) search(nConflicts int) Status {
 			}
 		}
 		if next == LitUndef {
-			for !s.order.empty() {
-				v := s.order.removeMax(s.activity)
-				if s.assigns[v] == LUndef && s.decision[v] {
-					next = MkLit(v, s.polarity[v])
-					break
+			if s.enum.active && s.enum.projUnassigned == 0 {
+				pick, allSat := s.enumScan()
+				if allSat {
+					// Early model termination: every assumption is
+					// decided, every projected variable is assigned, and
+					// every problem clause has a true literal — any
+					// completion of the free suffix is a model, so there
+					// is nothing left to decide. Unassigned variables
+					// stay LUndef in the model; the enumeration reads
+					// only projected literals.
+					s.Stats.EarlyTerms++
+					s.Stats.SkippedDecisions += int64(len(s.assigns) - len(s.trail))
+					s.model = append(s.model[:0], s.assigns...)
+					return StatusSat
+				}
+				// Clause-directed completion (see enumScan). LitUndef —
+				// an unsatisfied clause with no unassigned decision
+				// literal — falls through to the main heap.
+				next = pick
+			}
+			if next == LitUndef && s.enum.active && s.enum.projUnassigned > 0 {
+				// Projection-first decisions: while projected variables
+				// remain unassigned, decide those before anything VSIDS
+				// prefers globally. Decision order is free in CDCL, so
+				// the solution set is unaffected; the payoff is that
+				// early termination fires before the free suffix is
+				// decided and the blocking literals land at shallow
+				// levels the blocked-continue backjump can retain.
+				// Polarity is the saved phase, as in the main heap:
+				// after a blocked-continue backjump it replays the
+				// previous model's projection up to the blocked
+				// literal, so successive models differ minimally and
+				// the conflict rate between models stays low. If the
+				// projected heap runs dry (non-decision projection
+				// variables), fall through to the main heap.
+				for !s.enum.projOrder.empty() {
+					v := s.enum.projOrder.removeMax(s.activity)
+					if s.assigns[v] == LUndef && s.decision[v] {
+						next = MkLit(v, s.polarity[v])
+						break
+					}
 				}
 			}
 			if next == LitUndef {
+				for !s.order.empty() {
+					v := s.order.removeMax(s.activity)
+					if s.assigns[v] == LUndef && s.decision[v] {
+						next = MkLit(v, s.polarity[v])
+						break
+					}
+				}
+			}
+			if next == LitUndef {
+				if s.enum.active && s.enumRefillOrder() {
+					// Order damping starved the heap before a model was
+					// certified: return the damped variables and retry.
+					continue
+				}
 				// All variables assigned: model found.
 				s.model = append(s.model[:0], s.assigns...)
 				return StatusSat
@@ -1000,6 +1094,13 @@ func (h *varHeap) insert(v Var, act []float64) {
 	h.pos[v] = int32(len(h.heap))
 	h.heap = append(h.heap, v)
 	h.up(int(h.pos[v]), act)
+}
+
+func (h *varHeap) clear() {
+	for _, v := range h.heap {
+		h.pos[v] = -1
+	}
+	h.heap = h.heap[:0]
 }
 
 func (h *varHeap) update(v Var, act []float64) {

@@ -191,6 +191,11 @@ type DiagnoseRequest struct {
 	// Trajectory-only, so it is NOT part of the session key.
 	Solver string `json:"solver,omitempty"`
 
+	// Enum pins the enumeration mode ("legacy", "projected"; "" =
+	// legacy). Like Solver it is trajectory-only and not part of the
+	// session key; the solution bytes are mode-invariant.
+	Enum string `json:"enum,omitempty"`
+
 	MaxSolutions int   `json:"maxSolutions,omitempty"`
 	MaxConflicts int64 `json:"maxConflicts,omitempty"`
 	TimeoutMs    int64 `json:"timeoutMs,omitempty"`
@@ -206,16 +211,24 @@ type SolverStatsJSON struct {
 	LBDRestarts      int64 `json:"lbdRestarts,omitempty"`
 	VivifiedLits     int64 `json:"vivifiedLits,omitempty"`
 	ChronoBacktracks int64 `json:"chronoBacktracks,omitempty"`
+
+	// Projected-enumeration counters; zero under the legacy mode.
+	EarlyTerms        int64 `json:"earlyTerms,omitempty"`
+	ContinueBackjumps int64 `json:"continueBackjumps,omitempty"`
+	SkippedDecisions  int64 `json:"skippedDecisions,omitempty"`
 }
 
 func solverStatsJSON(st sat.Stats) SolverStatsJSON {
 	return SolverStatsJSON{
-		Decisions:        st.Decisions,
-		Conflicts:        st.Conflicts,
-		Propagations:     st.Propagations,
-		LBDRestarts:      st.LBDRestarts,
-		VivifiedLits:     st.VivifiedLits,
-		ChronoBacktracks: st.ChronoBacktracks,
+		Decisions:         st.Decisions,
+		Conflicts:         st.Conflicts,
+		Propagations:      st.Propagations,
+		LBDRestarts:       st.LBDRestarts,
+		VivifiedLits:      st.VivifiedLits,
+		ChronoBacktracks:  st.ChronoBacktracks,
+		EarlyTerms:        st.EarlyTerms,
+		ContinueBackjumps: st.ContinueBackjumps,
+		SkippedDecisions:  st.SkippedDecisions,
 	}
 }
 
@@ -243,8 +256,10 @@ type DiagnoseResponse struct {
 
 	// Solver is the search configuration that produced the answer; Raced
 	// marks it as the winner of a portfolio race (the solution bytes are
-	// configuration-invariant either way).
+	// configuration-invariant either way). Enum is the enumeration mode
+	// the answer ran under.
 	Solver string `json:"solver,omitempty"`
+	Enum   string `json:"enum,omitempty"`
 	Raced  bool   `json:"raced,omitempty"`
 
 	// Degraded names why an incomplete run stopped (deadline,
@@ -443,6 +458,7 @@ func (req *DiagnoseRequest) runSpec() RunSpec {
 		MaxSolutions: req.MaxSolutions,
 		MaxConflicts: req.MaxConflicts,
 		Solver:       req.Solver,
+		Enum:         req.Enum,
 	}
 }
 
@@ -455,6 +471,16 @@ func resolvedSolverName(name string) string {
 		return name
 	}
 	return cfg.Name
+}
+
+// resolvedEnumName is resolvedSolverName for enumeration modes ("" reads
+// as "legacy").
+func resolvedEnumName(name string) string {
+	mode, err := sat.EnumModeByName(name)
+	if err != nil {
+		return name
+	}
+	return mode.String()
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +511,11 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := sat.ConfigByName(req.Solver); err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := sat.EnumModeByName(req.Enum); err != nil {
 		s.failures.Inc()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -595,6 +626,7 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 		Shards:     countShards(rep.PerShard),
 		Stats:      solverStatsJSON(rep.Stats),
 		Solver:     rep.Solver,
+		Enum:       rep.Enum,
 		Raced:      raced,
 	}
 	s.annotateFaults(ctx, resp, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
@@ -619,6 +651,7 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 		ForceZero:    req.ForceZero,
 		ConeOnly:     req.ConeOnly,
 		Solver:       req.Solver,
+		Enum:         req.Enum,
 	})
 	if err != nil {
 		return nil, err
@@ -639,6 +672,7 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 		Shards:     countShards(rep.PerShard),
 		Stats:      solverStatsJSON(rep.Stats),
 		Solver:     resolvedSolverName(req.Solver),
+		Enum:       resolvedEnumName(req.Enum),
 	}
 	s.annotateFaults(ctx, resp, rep.PerShard, req.MaxSolutions, req.MaxConflicts)
 	return resp, nil
@@ -659,6 +693,7 @@ type SessionTestsRequest struct {
 	MaxConflicts int64  `json:"maxConflicts,omitempty"`
 	TimeoutMs    int64  `json:"timeoutMs,omitempty"`
 	Solver       string `json:"solver,omitempty"` // "" inherits the previous run's
+	Enum         string `json:"enum,omitempty"`   // "" inherits the previous run's
 }
 
 func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
@@ -672,6 +707,11 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := sat.ConfigByName(req.Solver); err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := sat.EnumModeByName(req.Enum); err != nil {
 		s.failures.Inc()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -697,6 +737,7 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 		MaxSolutions: req.MaxSolutions,
 		MaxConflicts: req.MaxConflicts,
 		Solver:       req.Solver,
+		Enum:         req.Enum,
 	}
 
 	ctx, cancel := s.sched.RequestContext(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -729,6 +770,7 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 				Shards:     countShards(rep.PerShard),
 				Stats:      solverStatsJSON(rep.Stats),
 				Solver:     rep.Solver,
+				Enum:       rep.Enum,
 			}
 			s.annotateFaults(ctx, r, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
 			return r, nil
@@ -915,6 +957,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.WritePromValue(w, "diag_session_lbd_restarts", l, info.Stats.Solver.LBDRestarts)
 		metrics.WritePromValue(w, "diag_session_vivified_lits", l, info.Stats.Solver.VivifiedLits)
 		metrics.WritePromValue(w, "diag_session_chrono_backtracks", l, info.Stats.Solver.ChronoBacktracks)
+		metrics.WritePromValue(w, "diag_session_early_terms", l, info.Stats.Solver.EarlyTerms)
+		metrics.WritePromValue(w, "diag_session_continue_backjumps", l, info.Stats.Solver.ContinueBackjumps)
+		metrics.WritePromValue(w, "diag_session_skipped_decisions", l, info.Stats.Solver.SkippedDecisions)
 	}
 }
 

@@ -34,6 +34,12 @@ type RunSpec struct {
 	// invariant, which is why it is NOT part of the session key — one
 	// warm session serves any configuration back to back.
 	Solver string
+	// Enum names the enumeration mode ("legacy", "projected"; "" =
+	// legacy). Like Solver it is trajectory-only — the ladder discipline
+	// makes the solution set mode-invariant — so it is not part of the
+	// session key either, and is applied per round rather than pinned on
+	// the session.
+	Enum string
 }
 
 // WarmReport is the outcome of a warm or incremental run. Solutions are
@@ -54,6 +60,7 @@ type WarmReport struct {
 	Solve     time.Duration // enumeration wall time
 	Rebuilt   bool          // the session was rebuilt for a wider ladder
 	Solver    string        // search configuration that produced the answer
+	Enum      string        // enumeration mode that produced the answer
 }
 
 // NewWarmSession builds the long-lived session a pool entry keeps warm:
@@ -157,6 +164,9 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		if spec.Solver != "" {
 			merged.Solver = spec.Solver
 		}
+		if spec.Enum != "" {
+			merged.Enum = spec.Enum
+		}
 		if !sess.CanBound(merged.K) {
 			return fmt.Errorf("service: incremental k=%d exceeds the session ladder (max %d); send a fresh /diagnose", merged.K, e.maxK)
 		}
@@ -248,7 +258,11 @@ func applySolver(sess *cnf.DiagSession, name string) (string, error) {
 // property tests), which is what makes warm responses byte-identical to
 // cold core.Diagnose ones.
 func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, spec RunSpec) (*WarmReport, error) {
-	rep := &WarmReport{Copies: len(active)}
+	mode, err := sat.EnumModeByName(spec.Enum)
+	if err != nil {
+		return nil, err
+	}
+	rep := &WarmReport{Copies: len(active), Enum: mode.String()}
 	round := cnf.RoundOptions{
 		MaxK:         spec.K,
 		Ctx:          ctx,
@@ -258,6 +272,7 @@ func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, sp
 		MaxConflicts: spec.MaxConflicts,
 		Timeout:      spec.Timeout,
 		SampleCap:    spec.SampleCap,
+		Enum:         mode,
 	}
 	before := sess.Solver.Statistics()
 	start := time.Now()
