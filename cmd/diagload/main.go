@@ -40,6 +40,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/service"
 	"repro/internal/tgen"
+	"repro/internal/trace"
 )
 
 type config struct {
@@ -56,9 +57,10 @@ type config struct {
 	clients  int
 	zipf     float64
 	coldFrac float64
-	reps     int
-	minSpeed float64
-	out      io.Writer
+	reps        int
+	minSpeed    float64
+	traceSample int
+	out         io.Writer
 }
 
 func main() {
@@ -83,6 +85,8 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "fault-tolerance gate against a failpoint-armed server")
 		portfolio = flag.Bool("portfolio", false,
 			"portfolio smoke against a diagserver -portfolio: assert raced and pinned solutions are identical")
+		traceSample = flag.Int("trace-sample", 0,
+			"after a load run, print the span breakdown of the N slowest requests")
 	)
 	flag.Parse()
 
@@ -96,7 +100,7 @@ func main() {
 		inject: *inject, seed: *seed, tests: *tests, k: *k,
 		shards: shardList, engines: splitList(*engines), enums: splitList(*enums),
 		n: *n, clients: *clients, zipf: *zipf, coldFrac: *coldFrac,
-		reps: *reps, minSpeed: *minSpeed, out: os.Stdout,
+		reps: *reps, minSpeed: *minSpeed, traceSample: *traceSample, out: os.Stdout,
 	}
 	if cfg.k <= 0 {
 		cfg.k = cfg.inject
@@ -300,9 +304,12 @@ func runLoad(cfg config) error {
 		len(loads), cfg.tests, cfg.k, cfg.engines, cfg.shards, cfg.enums)
 
 	type sample struct {
-		d    time.Duration
-		mode string
-		hit  bool
+		d       time.Duration
+		mode    string
+		hit     bool
+		id      string
+		name    string
+		timings *trace.SpanJSON
 	}
 	samples := make([]sample, cfg.n)
 	var enumStats struct {
@@ -353,7 +360,10 @@ func runLoad(cfg config) error {
 					errs <- err
 					return
 				}
-				samples[i] = sample{d: time.Since(t0), mode: resp.Mode, hit: resp.PoolHit}
+				samples[i] = sample{
+					d: time.Since(t0), mode: resp.Mode, hit: resp.PoolHit,
+					id: resp.RequestID, name: wl.name, timings: resp.Timings,
+				}
 				enumStats.Lock()
 				enumStats.earlyTerms += resp.Stats.EarlyTerms
 				enumStats.continueBJ += resp.Stats.ContinueBackjumps
@@ -397,7 +407,52 @@ func runLoad(cfg config) error {
 			fmt.Fprintf(cfg.out, "  %s %d\n", name, v)
 		}
 	}
+	if cfg.traceSample > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i].d > samples[j].d })
+		n := cfg.traceSample
+		if n > len(samples) {
+			n = len(samples)
+		}
+		fmt.Fprintf(cfg.out, "slowest %d request(s):\n", n)
+		for _, s := range samples[:n] {
+			fmt.Fprintf(cfg.out, "  %s %s %s client-observed %v\n", s.id, s.name, s.mode, s.d.Round(time.Microsecond))
+			if s.timings == nil {
+				fmt.Fprintf(cfg.out, "    (no timings in response — old server?)\n")
+				continue
+			}
+			printSpan(cfg.out, s.timings, 2)
+		}
+	}
 	return nil
+}
+
+// printSpan renders one span breakdown as an indented tree: duration,
+// phases, counters, children.
+func printSpan(w io.Writer, s *trace.SpanJSON, indent int) {
+	pad := strings.Repeat("  ", indent)
+	detail := ""
+	if s.Detail != "" {
+		detail = " [" + s.Detail + "]"
+	}
+	fmt.Fprintf(w, "%s%s%s %.3fms\n", pad, s.Name, detail, s.DurationMS)
+	for _, p := range s.Phases {
+		fmt.Fprintf(w, "%s  %-14s %.3fms\n", pad, p.Name, p.DurationMS)
+	}
+	if len(s.Counters) > 0 {
+		keys := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "%s  counters:", pad)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, s.Counters[k])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, c := range s.Children {
+		printSpan(w, c, indent+1)
+	}
 }
 
 // runSmoke drives one cold and one warm request and asserts the warm
@@ -604,6 +659,7 @@ func runChaos(cfg config) error {
 	completed, degraded := 0, 0
 	completedProjected := 0
 	earlyTerms := int64(0)
+	undumped := 0 // degraded responses missing their flight-recorder dump
 	var mismatches []string
 	var transport []error
 
@@ -659,6 +715,11 @@ func runChaos(cfg config) error {
 				default:
 					degraded++
 					codes[code]++
+					// The degradation contract includes the black box: an
+					// incomplete answer must explain itself.
+					if len(resp.FlightRecorder) == 0 {
+						undumped++
+					}
 				}
 				mu.Unlock()
 			}
@@ -687,6 +748,9 @@ func runChaos(cfg config) error {
 	}
 	if completed == 0 {
 		return fmt.Errorf("chaos: no request completed — degradation swallowed the whole run")
+	}
+	if undumped > 0 {
+		return fmt.Errorf("chaos: %d/%d degraded responses carried no flight-recorder dump", undumped, degraded)
 	}
 	if len(mismatches) > 0 {
 		return fmt.Errorf("chaos: %d completed responses diverged from the fault-free baseline, first: %s",

@@ -17,6 +17,10 @@
 //	GET  /healthz             liveness + pool/scheduler gauges
 //	GET  /metrics             Prometheus-style counters and histograms
 //	GET  /scenario            generate a self-contained faulty circuit + failing tests
+//	GET  /debug/diag/trace    recent request traces (spans + flight recorder)
+//
+// With -debug-addr, a second listener additionally serves /debug/pprof
+// (kept off the public port so profiling never rides the serving path).
 package main
 
 import (
@@ -24,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -61,8 +67,17 @@ func main() {
 			"failpoint spec for chaos runs, e.g. 'cnf/cube=panic(0.1)x5' (default from DIAG_FAILPOINTS)")
 		fpSeed = flag.Int64("failpoint-seed", envInt64("DIAG_FAILPOINT_SEED", 1),
 			"deterministic failpoint seed (default from DIAG_FAILPOINT_SEED)")
+		debugAddr = flag.String("debug-addr", "",
+			"separate listener for /debug/pprof (empty = profiling disabled)")
+		logLevel = flag.String("log-level", "info", "structured request-log level (debug, info, warn, error)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *failpoints != "" {
 		if err := failpoint.Enable(*failpoints, *fpSeed); err != nil {
@@ -83,9 +98,28 @@ func main() {
 			MaxTimeout:     *maxTO,
 		},
 		Portfolio: *portfolio,
+		Logger:    logger,
 	})
 	if *portfolio {
 		log.Printf("portfolio racing enabled")
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener: the serving port never
+		// exposes the profiler, and a firewalled debug port can stay open
+		// in production.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

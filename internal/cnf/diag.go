@@ -3,6 +3,7 @@ package cnf
 import (
 	"repro/internal/circuit"
 	"repro/internal/sat"
+	"repro/internal/trace"
 )
 
 // DiagOptions configures the diagnosis SAT instance of Figure 2/3.
@@ -79,6 +80,13 @@ type DiagOptions struct {
 	// solutions, so the mode changes the trajectory, never the canonical
 	// solution set.
 	Enum sat.EnumMode
+
+	// Recorder, when non-nil, is installed on the backend as its flight
+	// recorder: the solver's rare search events (restarts, reductions,
+	// models, budget exits) land in its ring, and clones forked for
+	// sharded or portfolio runs inherit it. Observation-only — the
+	// search trajectory is identical with or without it.
+	Recorder *trace.Recorder
 }
 
 // Instance is a built diagnosis SAT instance. It is the same object as

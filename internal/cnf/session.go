@@ -11,6 +11,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/sat"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // DiagSession is a long-lived diagnosis SAT instance: one solver that
@@ -121,6 +122,9 @@ func NewSession(c *circuit.Circuit, opts DiagOptions) *DiagSession {
 	}
 	if opts.Search != (sat.SearchConfig{}) {
 		s.SetSearchConfig(opts.Search)
+	}
+	if opts.Recorder != nil {
+		s.SetRecorder(opts.Recorder)
 	}
 
 	// Normalize the selection units to groups with labels.
@@ -519,6 +523,19 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 		sess.budgetedRounds++
 	}
 
+	// A traced round gets its own child span with per-k phases and the
+	// solver's Stats delta captured at the round boundary. Untraced
+	// rounds (span == nil) skip even the Statistics snapshot.
+	span := trace.FromContext(opts.Ctx).Child("round")
+	if span != nil {
+		before := sess.Solver.Statistics()
+		defer func() {
+			spanStats(span, sess.Solver.Statistics().Sub(before))
+			span.Counter("solutions", int64(n))
+			span.End()
+		}()
+	}
+
 	base := []sat.Lit{r.Guard()}
 	base = append(base, opts.ExtraAssumps...)
 	if opts.Restrict != nil {
@@ -540,6 +557,7 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 				return total, false, nil
 			}
 		}
+		kStart := time.Now()
 		assumps := append(append([]sat.Lit(nil), base...), sess.AtMost(k)...)
 		cnt, compl := sess.Solver.EnumerateProjected(sess.Sels, sat.EnumOptions{
 			Assumptions:  assumps,
@@ -551,9 +569,23 @@ func (sess *DiagSession) enumerateInRound(r *Round, opts RoundOptions, fn func(k
 			return fn == nil || fn(k, sess.gatesOf(trueLits))
 		})
 		total += cnt
+		span.PhaseSince(fmt.Sprintf("k=%d", k), kStart)
 		if !compl {
 			return total, false, nil
 		}
 	}
 	return total, true, nil
+}
+
+// spanStats publishes a solver Stats delta as counters on a span — the
+// per-round work attribution the request trace reports. Nil-safe.
+func spanStats(span *trace.Span, d sat.Stats) {
+	if span == nil {
+		return
+	}
+	span.Counter("conflicts", d.Conflicts)
+	span.Counter("decisions", d.Decisions)
+	span.Counter("propagations", d.Propagations)
+	span.Counter("restarts", d.Restarts+d.LBDRestarts)
+	span.Counter("learnt", d.Learnt)
 }

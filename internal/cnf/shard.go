@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/sat"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Cube is one assumption-scoped slice of the solution space: the
@@ -362,6 +364,13 @@ func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [
 	defer sampleRound.Retire()
 	sampleOpts := opts
 	sampleOpts.MaxSolutions = sampleCap
+	// A traced sharded run groups the sample stage's round under its
+	// own child span, so a request trace distinguishes the monolithic
+	// warm-up from the forked cube work that follows.
+	sampleSpan := trace.FromContext(opts.Ctx).Child("sample")
+	if sampleSpan != nil {
+		sampleOpts.Ctx = trace.NewContext(opts.Ctx, sampleSpan)
+	}
 	sampleStart := time.Now()
 	sampleBefore := sess.Solver.Statistics()
 	sampleStat := ShardStats{Shard: -1, Cubes: 1}
@@ -373,6 +382,7 @@ func (sess *DiagSession) EnumerateSharded(shards int, opts RoundOptions) (sols [
 		sample = append(sample, sortedCopy(gates))
 		return true
 	})
+	sampleSpan.End()
 	if err != nil {
 		return nil, false, nil, err
 	}
@@ -632,6 +642,14 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 	}
 	groups = make([][][]int, len(forks))
 	stats = make([]ShardStats, len(forks))
+	// A traced run attaches one child span per served cube to the
+	// request span; Span methods are goroutine-safe, so every worker
+	// attaches to the same parent concurrently.
+	span := trace.FromContext(opts.Ctx)
+	spanCtx := opts.Ctx
+	if spanCtx == nil {
+		spanCtx = context.Background()
+	}
 	// One deadline covers the whole worker phase — not one window per
 	// worker — so a saturated machine serializing the workers still
 	// honors the caller's Timeout instead of multiplying it.
@@ -682,7 +700,22 @@ func (sess *DiagSession) RunCubes(shards int, opts RoundOptions, sample [][]int,
 				if stolen {
 					st.Steals++
 				}
+				var cubeSpan *trace.Span
+				if span != nil {
+					cubeSpan = span.Child(fmt.Sprintf("cube.w%d", i))
+					if stolen {
+						cubeSpan.SetDetail("stolen")
+					}
+					budget.Ctx = trace.NewContext(spanCtx, cubeSpan)
+				}
 				sols, compl, failure := runCube(i, sh, att.cube, budget, run)
+				if cubeSpan != nil {
+					cubeSpan.Counter("solutions", int64(len(sols)))
+					if failure != nil {
+						cubeSpan.SetDetail("failed")
+					}
+					cubeSpan.End()
+				}
 				if failure == nil {
 					st.Cubes++ // Cubes counts served attempts, not failed ones
 					if len(local) == 0 && len(sols) > 0 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/logic"
 	"repro/internal/sat"
+	"repro/internal/trace"
 )
 
 // BSATOptions configures BasicSATDiagnose and its advanced variants.
@@ -111,6 +112,10 @@ func (o BSATOptions) diagOptions() (cnf.DiagOptions, error) {
 		Golden:      o.Golden,
 		Search:      search,
 		Enum:        enum,
+		// Cold-path flight recording: a request that carries a recorder
+		// on its context (the service's cold-build path) has it
+		// installed on the session's backend at construction.
+		Recorder: trace.RecorderFromContext(o.Ctx),
 	}, nil
 }
 

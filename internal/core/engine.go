@@ -10,6 +10,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/sat"
+	"repro/internal/trace"
 )
 
 // Request is the unified diagnosis request served by Diagnose: one
@@ -168,6 +169,12 @@ func Diagnose(ctx context.Context, req Request) (*Report, error) {
 	engineMu.RUnlock()
 	if fn == nil {
 		return nil, fmt.Errorf("core: unknown engine %q (registered: %v)", name, EngineNames())
+	}
+	// A traced request groups the engine's whole execution (session
+	// build, rounds, cubes) under one "engine:<name>" child span.
+	if span := trace.FromContext(ctx).Child("engine:" + name); span != nil {
+		ctx = trace.NewContext(ctx, span)
+		defer span.End()
 	}
 	start := time.Now()
 	rep, err := fn(ctx, req)

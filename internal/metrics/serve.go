@@ -112,8 +112,8 @@ func (h *Histogram) WriteProm(w io.Writer, name string, labels string) {
 	}
 	cum += h.counts[len(histBuckets)].Load()
 	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(labels), cum)
-	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum().Seconds())
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, wrapLabels(labels), h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, wrapLabels(labels), h.Count())
 }
 
 func labelPrefix(labels string) string {
@@ -121,6 +121,16 @@ func labelPrefix(labels string) string {
 		return ""
 	}
 	return labels + ","
+}
+
+// wrapLabels braces a non-empty label set. An unlabeled series renders
+// as a bare name — `name_sum 3` — never `name_sum{}`, which some
+// Prometheus parsers reject.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
 }
 
 func fmtBound(v float64) string {

@@ -3,6 +3,8 @@ package sat
 import (
 	"context"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Builder is the clause-construction surface of a SAT backend: fresh
@@ -68,6 +70,13 @@ type Backend interface {
 	BumpActivity(v Var, amount float64)
 	// Statistics returns the accumulated solver work counters.
 	Statistics() Stats
+	// SetRecorder installs (or with nil removes) a flight recorder
+	// receiving the backend's search events. Observation-only: a
+	// recorder must never perturb the search trajectory. Clones share
+	// their parent's recorder.
+	SetRecorder(r *trace.Recorder)
+	// FlightRecorder returns the installed flight recorder, or nil.
+	FlightRecorder() *trace.Recorder
 
 	// EnumerateProjected enumerates models projected onto proj with
 	// subset blocking (the Figure 3/4 discipline).

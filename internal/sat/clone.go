@@ -62,6 +62,12 @@ func (s *Solver) Clone(keepLearnts bool) Backend {
 
 		maxLearnts:    s.maxLearnts,
 		simpDBAssigns: s.simpDBAssigns,
+
+		// The flight recorder is shared, not copied: its ring is
+		// written with atomics, so shard workers and portfolio forks
+		// interleave their events on the parent's timeline and one dump
+		// shows the whole fan-out.
+		rec: s.rec,
 	}
 	n.ca.data = append([]uint32(nil), s.ca.data...)
 	n.ca.wasted = s.ca.wasted

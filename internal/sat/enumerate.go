@@ -3,6 +3,8 @@ package sat
 import (
 	"context"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // EnumOptions configures projected model enumeration.
@@ -130,6 +132,7 @@ func (s *Solver) enumerateContinue(proj []Lit, opts EnumOptions, fn func(trueLit
 		return 0, true
 	}
 	if !s.Deadline.IsZero() && !time.Now().Before(s.Deadline) {
+		s.record(trace.EvDeadlineExit)
 		return 0, false
 	}
 	if opts.Ctx != nil {
@@ -176,6 +179,7 @@ func (s *Solver) enumerateContinue(proj []Lit, opts EnumOptions, fn func(trueLit
 		if s.MaxConflicts > 0 {
 			budget = startConflicts + s.MaxConflicts - s.Stats.Conflicts
 			if budget <= 0 {
+				s.record(trace.EvBudgetExit)
 				return n, false
 			}
 		}
@@ -186,13 +190,17 @@ func (s *Solver) enumerateContinue(proj []Lit, opts EnumOptions, fn func(trueLit
 		switch s.search(int(limit)) {
 		case StatusUnknown:
 			s.Stats.Restarts++
+			s.record(trace.EvRestart)
 			if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+				s.record(trace.EvDeadlineExit)
 				return n, false
 			}
 			if s.interrupted() {
+				s.record(trace.EvCtxExit)
 				return n, false
 			}
 			if s.MaxConflicts > 0 && s.Stats.Conflicts-startConflicts >= s.MaxConflicts {
+				s.record(trace.EvBudgetExit)
 				return n, false
 			}
 			continue
@@ -200,6 +208,7 @@ func (s *Solver) enumerateContinue(proj []Lit, opts EnumOptions, fn func(trueLit
 			// Either a level-0 conflict (database contradiction, s.ok
 			// already false) or a failed-assumption core: the space under
 			// the assumptions is exhausted.
+			s.record(trace.EvUnsat)
 			return n, true
 		}
 		// A model, with the trail still in place.
@@ -214,9 +223,11 @@ func (s *Solver) enumerateContinue(proj []Lit, opts EnumOptions, fn func(trueLit
 			return n, false
 		}
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			s.record(trace.EvCtxExit)
 			return n, false
 		}
 		if !s.blockAndContinue(s.blockingClause(proj, buf, opts)) {
+			s.record(trace.EvUnsat)
 			return n, true
 		}
 		if opts.MaxSolutions > 0 && n >= opts.MaxSolutions {

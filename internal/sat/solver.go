@@ -3,6 +3,8 @@ package sat
 import (
 	"context"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Solver is an incremental CDCL SAT solver. Construct with New; add
@@ -97,6 +99,14 @@ type Solver struct {
 
 	Stats Stats
 
+	// rec, when non-nil, receives packed flight-recorder events at the
+	// search's rare control-flow points (restarts, reductions, models,
+	// exits — never per-propagation work). Clones inherit the pointer,
+	// so shard workers and portfolio forks interleave their events on
+	// one shared conflict-stamped timeline. Nil (the default) costs a
+	// single pointer test per event site.
+	rec *trace.Recorder
+
 	maxLearnts    float64
 	simpDBAssigns int
 }
@@ -155,6 +165,22 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 func (s *Solver) varLevel(v Var) int { return int(s.level[v]) }
 func (s *Solver) abstractLevelOK(v Var, mask uint32) bool {
 	return mask&(1<<uint(s.level[v]&31)) != 0
+}
+
+// SetRecorder installs (or, with nil, removes) the flight recorder
+// receiving this solver's search events. Observation-only: recording
+// never perturbs the search trajectory.
+func (s *Solver) SetRecorder(r *trace.Recorder) { s.rec = r }
+
+// FlightRecorder returns the installed flight recorder, or nil.
+func (s *Solver) FlightRecorder() *trace.Recorder { return s.rec }
+
+// record emits a flight-recorder event stamped with the conflict
+// clock. The nil test is the entire disabled-path cost.
+func (s *Solver) record(k trace.EventKind) {
+	if s.rec != nil {
+		s.rec.Record(k, uint64(s.Stats.Conflicts))
+	}
 }
 
 // Value returns the model value of v after a StatusSat Solve.
@@ -647,6 +673,7 @@ func (s *Solver) locked(cr CRef) bool {
 // append([]*clause(nil), ...).
 func (s *Solver) reduceDB() {
 	s.Stats.Reduces++
+	s.record(trace.EvReduceDB)
 	sortClauseRefs(s.learnts, &s.ca)
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
@@ -722,6 +749,7 @@ func (s *Solver) simplify() {
 		// Gen2 only: probe a bounded batch of problem clauses now that
 		// the watches are valid again. Shrunk clauses grow arena waste,
 		// reclaimed by the next compaction.
+		s.record(trace.EvVivify)
 		s.vivifyRound()
 	}
 	s.simpDBAssigns = len(s.trail)
@@ -809,6 +837,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		// An already-expired deadline fails fast instead of burning a
 		// restart's worth of conflicts first (and lets callers detect a
 		// stale budget deterministically).
+		s.record(trace.EvDeadlineExit)
 		return StatusUnknown
 	}
 	s.assumptions = append(s.assumptions[:0], assumptions...)
@@ -817,6 +846,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	if s.propagate() != CRefUndef {
 		s.ok = false
+		s.record(trace.EvUnsat)
 		return StatusUnsat
 	}
 
@@ -832,6 +862,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.MaxConflicts > 0 {
 			budget = startConflicts + s.MaxConflicts - s.Stats.Conflicts
 			if budget <= 0 {
+				s.record(trace.EvBudgetExit)
 				return StatusUnknown
 			}
 		}
@@ -841,16 +872,23 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		st := s.search(int(limit))
 		if st != StatusUnknown {
+			if st == StatusUnsat {
+				s.record(trace.EvUnsat)
+			}
 			return st
 		}
 		s.Stats.Restarts++
+		s.record(trace.EvRestart)
 		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			s.record(trace.EvDeadlineExit)
 			return StatusUnknown
 		}
 		if s.interrupted() {
+			s.record(trace.EvCtxExit)
 			return StatusUnknown
 		}
 		if s.MaxConflicts > 0 && s.Stats.Conflicts-startConflicts >= s.MaxConflicts {
+			s.record(trace.EvBudgetExit)
 			return StatusUnknown
 		}
 	}
@@ -901,6 +939,7 @@ func (s *Solver) search(nConflicts int) Status {
 				// below is sound and the trail stays level-ordered.
 				bt = s.decisionLevel() - 1
 				s.Stats.ChronoBacktracks++
+				s.record(trace.EvChronoBT)
 			}
 			s.cancelUntil(bt)
 			lbd := int32(1)
@@ -930,6 +969,7 @@ func (s *Solver) search(nConflicts int) Status {
 					// session norm: restart now instead of waiting for
 					// the Luby limit.
 					s.Stats.LBDRestarts++
+					s.record(trace.EvLBDRestart)
 					s.cancelUntil(0)
 					return StatusUnknown
 				}
@@ -984,6 +1024,7 @@ func (s *Solver) search(nConflicts int) Status {
 					s.Stats.EarlyTerms++
 					s.Stats.SkippedDecisions += int64(len(s.assigns) - len(s.trail))
 					s.model = append(s.model[:0], s.assigns...)
+					s.record(trace.EvEarlyTerm)
 					return StatusSat
 				}
 				// Clause-directed completion (see enumScan). LitUndef —
@@ -1031,6 +1072,7 @@ func (s *Solver) search(nConflicts int) Status {
 				}
 				// All variables assigned: model found.
 				s.model = append(s.model[:0], s.assigns...)
+				s.record(trace.EvModel)
 				return StatusSat
 			}
 		}

@@ -1,0 +1,53 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSolveZeroAllocTracing: the flight recorder must not disturb the
+// solver's allocation discipline. With no recorder attached (the
+// default — recording disabled), steady-state assumption solves stay at
+// zero allocs/op exactly as TestPropagateZeroAlloc pins for the hot
+// propagate/analyze loop; with a recorder attached, they STILL stay at
+// zero allocs/op, because Record is one atomic add plus one atomic
+// store into a preallocated ring.
+func TestSolveZeroAllocTracing(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  *trace.Recorder
+	}{
+		{"disabled", nil},
+		{"enabled", trace.NewRecorder(64)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, vars := randomInstance(400, 0x9E3779B97F4A7C15)
+			s.SetRecorder(tc.rec)
+			if st := s.Solve(); st != StatusSat {
+				t.Skipf("instance not SAT: %v", st)
+			}
+			assumps := make([]Lit, 1)
+			i := 0
+			for range vars {
+				assumps[0] = MkLit(vars[i%len(vars)], s.Value(vars[i%len(vars)]) == LFalse)
+				s.Solve(assumps...)
+				i++
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				v := vars[i%len(vars)]
+				i++
+				assumps[0] = MkLit(v, s.Value(v) == LFalse)
+				if s.Solve(assumps...) != StatusSat {
+					t.Fatal("replay conflicted")
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state solve with tracing %s allocated %v allocs/op, want 0", tc.name, allocs)
+			}
+			if tc.rec != nil && tc.rec.Len() == 0 {
+				t.Fatal("enabled recorder saw no events across the warmup solves")
+			}
+		})
+	}
+}

@@ -137,12 +137,34 @@ type Built struct {
 	MaxK    int
 }
 
+// Acquire outcomes reported by AcquireDetail, in the vocabulary the
+// request spans use for the pool-lookup phase detail.
+const (
+	// OutcomeColdBuild: no warm session existed; this request built it.
+	OutcomeColdBuild = "cold-build"
+	// OutcomeWarmHit: a warm session was ready immediately.
+	OutcomeWarmHit = "warm-hit"
+	// OutcomeSingleFlight: another request was already building the
+	// session; this one waited for that build instead of duplicating it.
+	OutcomeSingleFlight = "singleflight-wait"
+)
+
 // Acquire returns the entry for key, building it with build exactly
 // once per cold key regardless of how many requests race (single
 // flight). hit reports whether a warm session was reused. The caller
 // must Release the entry when done with it; until then the entry is
 // pinned against eviction.
 func (p *SessionPool) Acquire(key string, build func() (Built, error)) (e *PoolEntry, hit bool, err error) {
+	e, outcome, err := p.AcquireDetail(key, build)
+	return e, outcome != OutcomeColdBuild && err == nil, err
+}
+
+// AcquireDetail is Acquire with the lookup outcome spelled out:
+// OutcomeColdBuild, OutcomeWarmHit or OutcomeSingleFlight. The
+// distinction matters for tracing — a "slow pool phase" means
+// construction cost on a cold build but lock/queue convoying on a
+// single-flight wait, and the two are fixed differently.
+func (p *SessionPool) AcquireDetail(key string, build func() (Built, error)) (e *PoolEntry, outcome string, err error) {
 	for {
 		p.mu.Lock()
 		e = p.byKey[key]
@@ -172,7 +194,7 @@ func (p *SessionPool) Acquire(key string, build func() (Built, error)) (e *PoolE
 				p.dropLocked(e)
 				e.refs--
 				p.mu.Unlock()
-				return nil, false, berr
+				return nil, OutcomeColdBuild, berr
 			}
 			// The entry is already listed in the maps, so Snapshot (and
 			// /metrics) can observe it mid-build: publish the built
@@ -190,17 +212,25 @@ func (p *SessionPool) Acquire(key string, build func() (Built, error)) (e *PoolE
 			p.updateGaugesLocked()
 			p.mu.Unlock()
 			close(e.ready)
-			return e, false, nil
+			return e, OutcomeColdBuild, nil
 		}
 		// Existing entry (possibly still building): pin it, then wait
-		// for construction to settle outside the pool lock.
+		// for construction to settle outside the pool lock. Whether the
+		// entry was already ready is the warm-hit vs single-flight-wait
+		// distinction the trace reports.
 		e.refs++
 		p.lru.MoveToFront(e.elem)
 		p.mu.Unlock()
+		outcome := OutcomeWarmHit
+		select {
+		case <-e.ready:
+		default:
+			outcome = OutcomeSingleFlight
+		}
 		<-e.ready
 		if e.err != nil {
 			p.Release(e)
-			return nil, false, e.err
+			return nil, outcome, e.err
 		}
 		p.mu.Lock()
 		if e.evicted {
@@ -212,7 +242,7 @@ func (p *SessionPool) Acquire(key string, build func() (Built, error)) (e *PoolE
 		e.lastUsed = time.Now()
 		p.mu.Unlock()
 		p.Hits.Inc()
-		return e, true, nil
+		return e, outcome, nil
 	}
 }
 

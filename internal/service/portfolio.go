@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/sat"
+	"repro/internal/trace"
 )
 
 // DiagnosePortfolio is the racing variant of PoolEntry.Diagnose: the
@@ -35,16 +37,22 @@ func (e *PoolEntry) DiagnosePortfolio(ctx context.Context, tests circuit.TestSet
 	if spec.Solver != "" {
 		return nil, "", fmt.Errorf("service: a portfolio race cannot also pin solver %q", spec.Solver)
 	}
+	span := trace.FromContext(ctx)
+	lockWait := time.Now()
 	err = e.Run(func(sess *cnf.DiagSession, circ *circuit.Circuit) error {
+		span.PhaseSince("session-wait", lockWait)
 		rebuilt := false
 		if !sess.CanBound(spec.K) {
+			rebuildStart := time.Now()
 			e.rebuild(NewWarmSession(circ, e.model, spec.K), spec.K)
 			sess = e.sess
 			rebuilt = true
+			span.PhaseSince("rebuild", rebuildStart)
 		}
 		active, encoded, encode := e.ensureTests(tests)
 		e.current = active
 		e.lastSpec = spec
+		span.Phase("encode", encode)
 
 		configs := sat.PortfolioConfigs()
 		raceCtx, cancel := context.WithCancel(ctx)
@@ -54,6 +62,7 @@ func (e *PoolEntry) DiagnosePortfolio(ctx context.Context, tests circuit.TestSet
 			err  error
 			name string
 		}
+		solveStart := time.Now()
 		results := make(chan outcome, len(configs))
 		var wg sync.WaitGroup
 		for _, cfg := range configs {
@@ -62,7 +71,14 @@ func (e *PoolEntry) DiagnosePortfolio(ctx context.Context, tests circuit.TestSet
 			wg.Add(1)
 			go func(cfg sat.SearchConfig, fork *cnf.DiagSession) {
 				defer wg.Done()
-				r, rerr := diagnoseActive(raceCtx, fork, active, spec)
+				// Each fork gets its own child span so the breakdown
+				// shows every racer's rounds, winner and losers alike.
+				fctx := raceCtx
+				if fs := span.Child("fork:" + cfg.Name); fs != nil {
+					fctx = trace.NewContext(raceCtx, fs)
+					defer fs.End()
+				}
+				r, rerr := diagnoseActive(fctx, fork, active, spec)
 				results <- outcome{rep: r, err: rerr, name: cfg.Name}
 			}(cfg, fork)
 		}
@@ -87,6 +103,9 @@ func (e *PoolEntry) DiagnosePortfolio(ctx context.Context, tests circuit.TestSet
 		if rep == nil {
 			return firstErr
 		}
+		// The race's wall time, not the winner's internal solve time:
+		// the request waited for the whole first-to-finish window.
+		span.Phase("solve", time.Since(solveStart))
 		rep.NewCopies = encoded
 		rep.Encode = encode
 		rep.Rebuilt = rebuilt

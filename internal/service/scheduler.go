@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrOverloaded is returned when the admission queue is full — the
@@ -69,8 +70,13 @@ type Scheduler struct {
 	mu       sync.Mutex
 	draining bool
 
-	// Serving counters, exposed on /metrics.
+	// Serving counters, exposed on /metrics. QueueWait and Exec split
+	// end-to-end latency at the admission boundary: time spent waiting
+	// for a worker versus time spent actually diagnosing. A healthy
+	// server has Exec ≈ request latency; a saturated one shows the gap
+	// in QueueWait.
 	QueueWait     metrics.Histogram
+	Exec          metrics.Histogram
 	InFlight      metrics.Gauge
 	Queued        metrics.Gauge
 	Rejected      metrics.Counter
@@ -103,6 +109,7 @@ func (s *Scheduler) worker() {
 	for t := range s.tasks {
 		s.Queued.Add(-1)
 		s.QueueWait.Observe(time.Since(t.enqueued))
+		trace.FromContext(t.ctx).Phase("queue", time.Since(t.enqueued))
 		// A request whose client already gave up is not worth starting:
 		// skip it without burning the worker slot on doomed SAT work.
 		if t.ctx.Err() != nil {
@@ -110,7 +117,9 @@ func (s *Scheduler) worker() {
 			s.QueueTimeouts.Inc()
 		} else {
 			s.InFlight.Add(1)
+			execStart := time.Now()
 			s.runTask(t)
+			s.Exec.Observe(time.Since(execStart))
 			s.InFlight.Add(-1)
 			s.Completed.Inc()
 		}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sat"
 	"repro/internal/tgen"
+	"repro/internal/trace"
 )
 
 // DefaultWarmMaxK is the ladder headroom warm sessions are built with:
@@ -55,6 +58,15 @@ type Options struct {
 	// finisher wins. Requests that pin a solver or shard their
 	// enumeration run singly as before.
 	Portfolio bool
+
+	// Logger receives structured request logs (one line per request,
+	// keyed by request id). nil discards them — tests and embedders that
+	// do not care pay nothing.
+	Logger *slog.Logger
+
+	// TraceStore bounds how many completed request traces are retained
+	// for GET /debug/diag/trace (0 = DefaultTraceStoreSize).
+	TraceStore int
 }
 
 // Server is the diagnosis service: session pool + scheduler + the JSON
@@ -64,10 +76,17 @@ type Server struct {
 	sched     *Scheduler
 	start     time.Time
 	portfolio bool
+	log       *slog.Logger
+	traces    *traceStore
+	reqID     atomic.Int64
 
 	requests  metrics.Counter
 	failures  metrics.Counter
 	latencies map[string]*metrics.Histogram // by response mode
+	// phases holds one latency histogram per request-span phase
+	// (diag_phase_seconds{phase=...}): where end-to-end time actually
+	// went, queue-wait separated from execution.
+	phases map[string]*metrics.Histogram
 
 	// Portfolio racing counters: races run, and wins per configuration
 	// name (the map is fixed at construction — one counter per
@@ -88,21 +107,38 @@ type Server struct {
 }
 
 // NewServer assembles a service instance.
+// spanPhases are the request-span phases that get their own
+// diag_phase_seconds histogram. "queue" is stamped by the scheduler
+// worker, the rest by the pool/warm path; phases a request never
+// entered simply observe nothing.
+var spanPhases = []string{"queue", "pool", "session-wait", "rebuild", "encode", "solve"}
+
 func NewServer(opts Options) *Server {
 	wins := make(map[string]*metrics.Counter)
 	for _, cfg := range sat.PortfolioConfigs() {
 		wins[cfg.Name] = new(metrics.Counter)
+	}
+	phases := make(map[string]*metrics.Histogram, len(spanPhases))
+	for _, p := range spanPhases {
+		phases[p] = new(metrics.Histogram)
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return &Server{
 		pool:      NewSessionPool(opts.Pool),
 		sched:     NewScheduler(opts.Scheduler),
 		start:     time.Now(),
 		portfolio: opts.Portfolio,
+		log:       logger,
+		traces:    newTraceStore(opts.TraceStore),
 		latencies: map[string]*metrics.Histogram{
 			"cold":        new(metrics.Histogram),
 			"warm":        new(metrics.Histogram),
 			"incremental": new(metrics.Histogram),
 		},
+		phases:        phases,
 		portfolioWins: wins,
 	}
 }
@@ -124,6 +160,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /scenario", s.handleScenario)
+	mux.HandleFunc("GET /debug/diag/trace", s.handleTraceList)
+	mux.HandleFunc("GET /debug/diag/trace/{id}", s.handleTraceGet)
 	return s.recoverMiddleware(mux)
 }
 
@@ -273,6 +311,25 @@ type DiagnoseResponse struct {
 	CubeRetries   int `json:"cubeRetries,omitempty"`
 	CubeSteals    int `json:"cubeSteals,omitempty"`
 	CubeAbandoned int `json:"cubeAbandoned,omitempty"`
+
+	// RequestID names this request in the server's logs and trace store
+	// (GET /debug/diag/trace/{id}).
+	RequestID string `json:"requestId,omitempty"`
+
+	// Timings is the request's span breakdown: where the wall time went
+	// (queue, pool, encode, solve, …), with per-round and per-cube child
+	// spans and their solver-work counters.
+	Timings *trace.SpanJSON `json:"timings,omitempty"`
+
+	// FlightRecorder is attached to degraded (complete=false) responses
+	// only: the solver control-flow events of this run, so the "why did
+	// it stop" question is answerable from the response alone. Complete
+	// runs keep theirs reachable via /debug/diag/trace/{id}.
+	FlightRecorder []trace.Event `json:"flightRecorder,omitempty"`
+
+	// events is the run's full recorder window, wire-attached only when
+	// degraded but always retained in the trace store.
+	events []trace.Event
 }
 
 type errorJSON struct {
@@ -547,9 +604,16 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.sched.RequestContext(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
 	defer cancel()
 
+	// The root request span starts at admission (parsing is already
+	// done), so its duration is the wall time the phase breakdown must
+	// account for.
+	rid := s.nextRequestID()
+	span := trace.New("request")
+	span.SetDetail(engine)
+	ctx = trace.NewContext(ctx, span)
+
 	var resp *DiagnoseResponse
 	var derr error
-	start := time.Now()
 	err = s.sched.Do(ctx, func(ctx context.Context) {
 		// /diagnose is declarative (the request carries its whole
 		// test-set), so even a panicked attempt is safe to retry.
@@ -560,7 +624,13 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			return s.serveCold(ctx, c, tests, &req, encoding, engine)
 		})
 	})
-	s.finish(w, resp, derr, err, start)
+	s.finish(w, resp, derr, err, rid, span)
+}
+
+// nextRequestID mints the per-process request identifier used in logs,
+// responses and the trace store.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("r%d", s.reqID.Add(1))
 }
 
 // serveWarm runs the pooled path: acquire (or single-flight build) the
@@ -571,7 +641,8 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 	model := FaultModel{Encoding: encoding, ForceZero: req.ForceZero, ConeOnly: req.ConeOnly}
 	spec := req.runSpec()
 	key := SessionKey(fp, model)
-	entry, hit, err := s.pool.Acquire(key, func() (Built, error) {
+	poolSpan := trace.FromContext(ctx).Child("pool")
+	entry, outcome, err := s.pool.AcquireDetail(key, func() (Built, error) {
 		maxK := spec.K
 		if maxK < DefaultWarmMaxK {
 			maxK = DefaultWarmMaxK
@@ -583,9 +654,15 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 			MaxK:    maxK,
 		}, nil
 	})
+	if poolSpan != nil {
+		poolSpan.SetDetail(outcome)
+		poolSpan.End()
+		trace.FromContext(ctx).Phase("pool", poolSpan.Duration())
+	}
 	if err != nil {
 		return nil, err
 	}
+	hit := outcome != OutcomeColdBuild
 	defer s.pool.Release(entry)
 	// A race needs an unpinned solver and a monolithic enumeration (the
 	// sharded path already parallelizes; racing it would oversubscribe).
@@ -629,6 +706,7 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 		Enum:       rep.Enum,
 		Raced:      raced,
 	}
+	resp.events = rep.Events
 	s.annotateFaults(ctx, resp, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
 	return resp, nil
 }
@@ -637,6 +715,10 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circuit.TestSet,
 	req *DiagnoseRequest, encoding cnf.CardEncoding, engine string) (*DiagnoseResponse, error) {
 
+	// Cold runs build a throwaway solver, so they get a private flight
+	// recorder via the context (core's option plumbing installs it).
+	rec := trace.NewRecorder(0)
+	ctx = trace.WithRecorder(ctx, rec)
 	rep, err := core.Diagnose(ctx, core.Request{
 		Engine:       engine,
 		Circuit:      c,
@@ -674,6 +756,7 @@ func (s *Server) serveCold(ctx context.Context, c *circuit.Circuit, tests circui
 		Solver:     resolvedSolverName(req.Solver),
 		Enum:       resolvedEnumName(req.Enum),
 	}
+	resp.events = rec.Snapshot()
 	s.annotateFaults(ctx, resp, rep.PerShard, req.MaxSolutions, req.MaxConflicts)
 	return resp, nil
 }
@@ -743,9 +826,13 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.sched.RequestContext(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
 	defer cancel()
 
+	rid := s.nextRequestID()
+	span := trace.New("request")
+	span.SetDetail("incremental")
+	ctx = trace.NewContext(ctx, span)
+
 	var resp *DiagnoseResponse
 	var derr error
-	start := time.Now()
 	err = s.sched.Do(ctx, func(ctx context.Context) {
 		// The incremental edit mutates the session's test list, so a
 		// panicked attempt is NOT retried (idempotent=false); injected
@@ -772,11 +859,12 @@ func (s *Server) handleSessionTests(w http.ResponseWriter, r *http.Request) {
 				Solver:     rep.Solver,
 				Enum:       rep.Enum,
 			}
+			r.events = rep.Events
 			s.annotateFaults(ctx, r, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
 			return r, nil
 		})
 	})
-	s.finish(w, resp, derr, err, start)
+	s.finish(w, resp, derr, err, rid, span)
 }
 
 // decodeAdd is decodeTests allowing an empty list (pure retractions).
@@ -788,37 +876,47 @@ func decodeAdd(c *circuit.Circuit, in []TestJSON) (circuit.TestSet, error) {
 }
 
 // finish maps the (response, diagnosis error, scheduling error) triple
-// onto the wire and records latency. A deadline that fires mid-run with
-// partial results still answers 200 (the degradation contract); only a
-// request that produced nothing maps to an error status.
-func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, schedErr error, start time.Time) {
-	elapsed := time.Since(start)
+// onto the wire and records latency, the span breakdown, the per-phase
+// histograms, the retained trace and the request log line. A deadline
+// that fires mid-run with partial results still answers 200 (the
+// degradation contract); only a request that produced nothing maps to
+// an error status.
+func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, schedErr error, rid string, span *trace.Span) {
+	span.End()
+	elapsed := span.Duration()
+	fail := func(code int, format string, args ...any) {
+		s.failures.Inc()
+		msg := fmt.Sprintf(format, args...)
+		s.traces.add(&RequestTrace{
+			ID: rid, Time: time.Now(), Error: msg,
+			ElapsedMs: float64(elapsed.Microseconds()) / 1e3,
+			Timings:   span.Breakdown(),
+		})
+		s.log.Warn("request failed", "id", rid, "status", code,
+			"elapsedMs", float64(elapsed.Microseconds())/1e3, "error", msg)
+		writeError(w, code, "%s", msg)
+	}
 	var pe *PanicError
 	switch {
 	case errors.Is(schedErr, ErrOverloaded):
-		s.failures.Inc()
-		writeError(w, http.StatusTooManyRequests, "%v", schedErr)
+		fail(http.StatusTooManyRequests, "%v", schedErr)
 		return
 	case errors.Is(schedErr, ErrDraining):
-		s.failures.Inc()
-		writeError(w, http.StatusServiceUnavailable, "%v", schedErr)
+		fail(http.StatusServiceUnavailable, "%v", schedErr)
 		return
 	case errors.Is(schedErr, ErrQueueTimeout):
 		// The deadline expired while queued; no work ran. 503 tells the
 		// client to back off and retry, unlike the mid-run 504.
-		s.failures.Inc()
-		writeError(w, http.StatusServiceUnavailable, "queue-timeout: %v", schedErr)
+		fail(http.StatusServiceUnavailable, "queue-timeout: %v", schedErr)
 		return
 	case errors.As(schedErr, &pe):
 		// Recovered by the scheduler backstop: the process survived,
 		// this request did not.
 		s.lastPanic.Store(time.Now().UnixNano())
-		s.failures.Inc()
-		writeError(w, http.StatusInternalServerError, "%v", schedErr)
+		fail(http.StatusInternalServerError, "%v", schedErr)
 		return
 	}
 	if derr != nil {
-		s.failures.Inc()
 		code := http.StatusUnprocessableEntity
 		switch {
 		case errors.Is(derr, cnf.ErrLadderWidth), errors.Is(derr, cnf.ErrBadEncoding):
@@ -827,13 +925,12 @@ func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, sch
 		case errors.Is(derr, errAttemptPanic):
 			code = http.StatusInternalServerError
 		}
-		writeError(w, code, "%v", derr)
+		fail(code, "%v", derr)
 		return
 	}
 	if resp == nil {
 		// The run was cancelled before producing even a partial report.
-		s.failures.Inc()
-		writeError(w, http.StatusGatewayTimeout, "request produced no result: %v", schedErr)
+		fail(http.StatusGatewayTimeout, "request produced no result: %v", schedErr)
 		return
 	}
 	if resp.Degraded != "" {
@@ -841,9 +938,32 @@ func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, sch
 		s.lastDegraded.Store(time.Now().UnixNano())
 	}
 	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1e3
+	resp.RequestID = rid
+	resp.Timings = span.Breakdown()
+	if resp.Degraded != "" {
+		// A degraded answer carries its own black box: the solver events
+		// leading up to the budget/deadline exit travel with the reply.
+		resp.FlightRecorder = resp.events
+	}
 	if h := s.latencies[resp.Mode]; h != nil {
 		h.Observe(elapsed)
 	}
+	for name, d := range span.PhaseDurations() {
+		if h := s.phases[name]; h != nil {
+			h.Observe(d)
+		}
+	}
+	s.traces.add(&RequestTrace{
+		ID: rid, Time: time.Now(), Mode: resp.Mode, Engine: resp.Engine,
+		Complete: resp.Complete, Degraded: resp.Degraded,
+		ElapsedMs:      resp.ElapsedMs,
+		Timings:        resp.Timings,
+		FlightRecorder: resp.events,
+	})
+	s.log.Info("request", "id", rid, "mode", resp.Mode, "engine", resp.Engine,
+		"solutions", len(resp.Solutions), "complete", resp.Complete,
+		"degraded", resp.Degraded, "raced", resp.Raced, "poolHit", resp.PoolHit,
+		"elapsedMs", resp.ElapsedMs)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -935,7 +1055,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WritePromValue(w, "diag_portfolio_wins_total", fmt.Sprintf("config=%q", cfg.Name), c.Value())
 		}
 	}
+	// Queue wait and execution are split at the admission boundary, so
+	// saturation (growing queue wait, flat exec) is distinguishable from
+	// slow diagnoses (flat queue wait, growing exec) at a glance.
 	s.sched.QueueWait.WriteProm(w, "diag_queue_wait_seconds", "")
+	s.sched.Exec.WriteProm(w, "diag_exec_seconds", "")
+	for _, p := range spanPhases {
+		s.phases[p].WriteProm(w, "diag_phase_seconds", fmt.Sprintf("phase=%q", p))
+	}
 	for mode, h := range s.latencies {
 		h.WriteProm(w, "diag_request_seconds", fmt.Sprintf("mode=%q", mode))
 	}

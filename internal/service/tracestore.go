@@ -1,0 +1,124 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// DefaultTraceStoreSize is how many completed request traces the server
+// retains for GET /debug/diag/trace.
+const DefaultTraceStoreSize = 64
+
+// RequestTrace is one retained request: identity, outcome, the span
+// breakdown and the flight-recorder window. It is what
+// GET /debug/diag/trace/{id} returns — including for requests whose
+// response did not carry the dump on the wire (only degraded responses
+// do), so a slow-but-complete request can still be examined after the
+// fact.
+type RequestTrace struct {
+	ID        string          `json:"id"`
+	Time      time.Time       `json:"time"`
+	Mode      string          `json:"mode,omitempty"`
+	Engine    string          `json:"engine,omitempty"`
+	Complete  bool            `json:"complete"`
+	Degraded  string          `json:"degraded,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ElapsedMs float64         `json:"elapsedMs"`
+	Timings   *trace.SpanJSON `json:"timings,omitempty"`
+	// FlightRecorder is the solver-event window of this request (shared
+	// ring cursors on the warm path, a private ring on the cold path).
+	FlightRecorder []trace.Event `json:"flightRecorder,omitempty"`
+}
+
+// TraceSummary is the list-endpoint view: enough to pick a request
+// worth dumping in full.
+type TraceSummary struct {
+	ID        string  `json:"id"`
+	Mode      string  `json:"mode,omitempty"`
+	Engine    string  `json:"engine,omitempty"`
+	Complete  bool    `json:"complete"`
+	Degraded  string  `json:"degraded,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs"`
+	Events    int     `json:"events"`
+}
+
+// traceStore is a fixed-size ring of the most recent request traces.
+type traceStore struct {
+	mu   sync.Mutex
+	ring []*RequestTrace
+	next int
+}
+
+func newTraceStore(n int) *traceStore {
+	if n <= 0 {
+		n = DefaultTraceStoreSize
+	}
+	return &traceStore{ring: make([]*RequestTrace, n)}
+}
+
+func (ts *traceStore) add(rt *RequestTrace) {
+	ts.mu.Lock()
+	ts.ring[ts.next%len(ts.ring)] = rt
+	ts.next++
+	ts.mu.Unlock()
+}
+
+// list returns the retained traces, newest first.
+func (ts *traceStore) list() []*RequestTrace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]*RequestTrace, 0, len(ts.ring))
+	for i := ts.next - 1; i >= ts.next-len(ts.ring) && i >= 0; i-- {
+		if rt := ts.ring[i%len(ts.ring)]; rt != nil {
+			out = append(out, rt)
+		}
+	}
+	return out
+}
+
+func (ts *traceStore) get(id string) *RequestTrace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, rt := range ts.ring {
+		if rt != nil && rt.ID == id {
+			return rt
+		}
+	}
+	return nil
+}
+
+// handleTraceList answers GET /debug/diag/trace: summaries of the
+// retained requests, newest first.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	full := s.traces.list()
+	out := make([]TraceSummary, len(full))
+	for i, rt := range full {
+		out[i] = TraceSummary{
+			ID:        rt.ID,
+			Mode:      rt.Mode,
+			Engine:    rt.Engine,
+			Complete:  rt.Complete,
+			Degraded:  rt.Degraded,
+			Error:     rt.Error,
+			ElapsedMs: rt.ElapsedMs,
+			Events:    len(rt.FlightRecorder),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraceGet answers GET /debug/diag/trace/{id}: the full span
+// breakdown and flight-recorder dump of one retained request.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt := s.traces.get(id)
+	if rt == nil {
+		writeError(w, http.StatusNotFound, "no retained trace for request %q (the store keeps the last %d)", id, len(s.traces.ring))
+		return
+	}
+	writeJSON(w, http.StatusOK, rt)
+}

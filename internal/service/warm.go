@@ -9,6 +9,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/sat"
+	"repro/internal/trace"
 )
 
 // RunSpec is the per-request half of a warm diagnosis: everything that
@@ -61,6 +62,13 @@ type WarmReport struct {
 	Rebuilt   bool          // the session was rebuilt for a wider ladder
 	Solver    string        // search configuration that produced the answer
 	Enum      string        // enumeration mode that produced the answer
+
+	// Events is this run's slice of the session's flight recorder:
+	// the solver control-flow events (restarts, clause-DB reductions,
+	// models, budget exits, …) recorded between the run's start and end
+	// cursors. Portfolio forks share the parent's recorder, so a raced
+	// run's events interleave every fork on one timeline.
+	Events []trace.Event
 }
 
 // NewWarmSession builds the long-lived session a pool entry keeps warm:
@@ -77,6 +85,11 @@ func NewWarmSession(c *circuit.Circuit, model FaultModel, maxK int) *cnf.DiagSes
 		ForceZero:  model.ForceZero,
 		ConeOnly:   model.ConeOnly,
 		GuardTests: true,
+		// Warm sessions always carry a flight recorder: the ring is a
+		// few KiB per session and recording happens only at rare solver
+		// control-flow points, so the capability costs nothing when no
+		// one is looking and is already armed when a request degrades.
+		Recorder: trace.NewRecorder(0),
 	})
 }
 
@@ -97,16 +110,24 @@ func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec Ru
 		return nil, fmt.Errorf("service: warm diagnosis requires a non-empty test-set")
 	}
 	var rep *WarmReport
+	span := trace.FromContext(ctx)
+	lockWait := time.Now()
 	err := e.Run(func(sess *cnf.DiagSession, circ *circuit.Circuit) error {
+		// The fn runs once runMu is held, so "session-wait" is the time
+		// this request queued behind other requests on the same session.
+		span.PhaseSince("session-wait", lockWait)
 		rebuilt := false
 		if !sess.CanBound(spec.K) {
+			rebuildStart := time.Now()
 			e.rebuild(NewWarmSession(circ, e.model, spec.K), spec.K)
 			sess = e.sess
 			rebuilt = true
+			span.PhaseSince("rebuild", rebuildStart)
 		}
 		active, encoded, encode := e.ensureTests(tests)
 		e.current = active
 		e.lastSpec = spec
+		span.Phase("encode", encode)
 		solver, err := applySolver(sess, spec.Solver)
 		if err != nil {
 			return err
@@ -115,6 +136,7 @@ func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec Ru
 		if err != nil {
 			return err
 		}
+		span.Phase("solve", r.Solve)
 		r.NewCopies = encoded
 		r.Encode = encode
 		r.Rebuilt = rebuilt
@@ -135,7 +157,10 @@ func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec Ru
 func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove []int, spec RunSpec) (*WarmReport, circuit.TestSet, error) {
 	var rep *WarmReport
 	var activeTests circuit.TestSet
+	span := trace.FromContext(ctx)
+	lockWait := time.Now()
 	err := e.Run(func(sess *cnf.DiagSession, circ *circuit.Circuit) error {
+		span.PhaseSince("session-wait", lockWait)
 		merged := e.lastSpec
 		if spec.K > 0 {
 			merged.K = spec.K
@@ -194,6 +219,7 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		}
 		e.current = next
 		e.lastSpec = merged
+		span.Phase("encode", encode)
 		solver, err := applySolver(sess, merged.Solver)
 		if err != nil {
 			return err
@@ -202,6 +228,7 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		if err != nil {
 			return err
 		}
+		span.Phase("solve", r.Solve)
 		r.NewCopies = encoded
 		r.Encode = encode
 		r.Solver = solver
@@ -274,6 +301,11 @@ func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, sp
 		SampleCap:    spec.SampleCap,
 		Enum:         mode,
 	}
+	// This run's flight-recorder window: everything the (shared) ring
+	// receives between these cursors belongs to this request. Nil-safe:
+	// a recorder-less session yields cursor 0 and a nil event slice.
+	rec := sess.Solver.FlightRecorder()
+	cursor := rec.Cursor()
 	before := sess.Solver.Statistics()
 	start := time.Now()
 	if spec.Shards > 1 {
@@ -309,6 +341,7 @@ func diagnoseActive(ctx context.Context, sess *cnf.DiagSession, active []int, sp
 		rep.Stats = sess.Solver.Statistics().Sub(before)
 	}
 	rep.Solve = time.Since(start)
+	rep.Events = rec.Since(cursor)
 	rep.Vars, rep.Clauses = sess.Size()
 	if rep.Solutions == nil {
 		rep.Solutions = [][]int{}
