@@ -17,6 +17,12 @@
 //	    assert the fault-tolerance contract: no 5xx escapes the
 //	    recovery layers and every complete=true response is
 //	    byte-identical to a locally computed fault-free diagnosis
+//	diagload -restart prime -state st.json   (then SIGKILL + restart the server)
+//	diagload -restart verify -state st.json
+//	    crash-equivalence gate against a diagserver -journal-dir: prime
+//	    warms the pool and records a solution baseline; verify waits out
+//	    the replay (503 warming), then asserts every request hits the
+//	    replayed pool warm (no re-encoding) with byte-identical solutions
 package main
 
 import (
@@ -85,6 +91,9 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "fault-tolerance gate against a failpoint-armed server")
 		portfolio = flag.Bool("portfolio", false,
 			"portfolio smoke against a diagserver -portfolio: assert raced and pinned solutions are identical")
+		restart = flag.String("restart", "",
+			"crash-equivalence gate phase: 'prime' warms the pool and records a baseline, 'verify' asserts warm replay after a restart")
+		stateFile = flag.String("state", "diagload-restart.json", "baseline file shared by the -restart phases")
 		traceSample = flag.Int("trace-sample", 0,
 			"after a load run, print the span breakdown of the N slowest requests")
 	)
@@ -123,6 +132,8 @@ func main() {
 		err = runChaos(cfg)
 	case *portfolio:
 		err = runPortfolio(cfg)
+	case *restart != "":
+		err = runRestart(cfg, *restart, *stateFile)
 	default:
 		err = runLoad(cfg)
 	}
@@ -769,6 +780,173 @@ func runChaos(cfg config) error {
 	}
 	fmt.Fprintf(cfg.out, "chaos ok: %d/%d complete and byte-identical, %d degraded, 0 unrecovered panics\n",
 		completed, cfg.n, degraded)
+	return nil
+}
+
+// restartState is the baseline the -restart prime phase writes and the
+// verify phase replays: the exact wire payloads plus the solutions the
+// pre-crash server produced for them. Carrying the payloads (not just
+// the workload seed) makes verify independent of generator drift.
+type restartState struct {
+	K         int               `json:"k"`
+	Workloads []restartWorkload `json:"workloads"`
+}
+
+type restartWorkload struct {
+	Name      string             `json:"name"`
+	Bench     string             `json:"bench"`
+	Tests     []service.TestJSON `json:"tests"`
+	Solutions json.RawMessage    `json:"solutions"`
+}
+
+// waitReady polls /healthz until the server reports ready — during a
+// boot replay it answers 503 "warming", which this deliberately sits
+// through.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("healthz: %w", err)
+			}
+			return fmt.Errorf("healthz: not ready within %v", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func runRestart(cfg config, phase, statePath string) error {
+	switch phase {
+	case "prime":
+		return runRestartPrime(cfg, statePath)
+	case "verify":
+		return runRestartVerify(cfg, statePath)
+	default:
+		return fmt.Errorf("-restart %q: want prime or verify", phase)
+	}
+}
+
+// runRestartPrime warms one session per circuit on a journaling server
+// and records the solution baseline. The caller then kills the server
+// (SIGKILL — no drain, no seal) and restarts it on the same journal
+// before running the verify phase.
+func runRestartPrime(cfg config, statePath string) error {
+	loads, err := prepare(cfg)
+	if err != nil {
+		return err
+	}
+	st := restartState{K: cfg.k}
+	for _, wl := range loads {
+		resp, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", cfg.base(wl, ""))
+		if err != nil {
+			return err
+		}
+		if !resp.Complete {
+			return fmt.Errorf("prime: %s did not complete", wl.name)
+		}
+		sols, err := json.Marshal(resp.Solutions)
+		if err != nil {
+			return err
+		}
+		st.Workloads = append(st.Workloads, restartWorkload{
+			Name: wl.name, Bench: wl.bench, Tests: wl.tests, Solutions: sols,
+		})
+	}
+	b, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(statePath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "restart prime ok: %d sessions warmed and journaled, baseline in %s\n",
+		len(st.Workloads), statePath)
+	return nil
+}
+
+// runRestartVerify is the post-crash half of the gate: wait out the
+// boot replay, then re-issue every primed request and assert it lands
+// warm — pool hit, zero re-encoded test copies — with solutions
+// byte-identical to both the pre-crash baseline and a locally computed
+// diagnosis. A cold rebuild or a single diverging byte fails the gate.
+func runRestartVerify(cfg config, statePath string) error {
+	raw, err := os.ReadFile(statePath)
+	if err != nil {
+		return err
+	}
+	var st restartState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("%s: %w", statePath, err)
+	}
+	if len(st.Workloads) == 0 {
+		return fmt.Errorf("%s: no workloads — run -restart prime first", statePath)
+	}
+	if err := waitReady(cfg.addr, time.Minute); err != nil {
+		return err
+	}
+	hits0, _ := fetchMetric(cfg.addr, "diag_pool_hits_total") // 0 on a fresh process
+	for _, wl := range st.Workloads {
+		resp, err := postJSON[service.DiagnoseResponse](cfg.addr, "/diagnose", service.DiagnoseRequest{
+			Bench: wl.Bench, Tests: wl.Tests, K: st.K,
+		})
+		if err != nil {
+			return err
+		}
+		if !resp.PoolHit {
+			return fmt.Errorf("verify: %s rebuilt cold — replay did not restore the session", wl.Name)
+		}
+		if resp.NewCopies != 0 {
+			return fmt.Errorf("verify: %s re-encoded %d test copies — replay lost the live test-set", wl.Name, resp.NewCopies)
+		}
+		got, err := json.Marshal(resp.Solutions)
+		if err != nil {
+			return err
+		}
+		// The state file is written indented (it is a debugging artifact),
+		// which re-indents the embedded solutions; compact before the
+		// byte-level comparison.
+		var before bytes.Buffer
+		if err := json.Compact(&before, wl.Solutions); err != nil {
+			return fmt.Errorf("%s: baseline solutions: %w", wl.Name, err)
+		}
+		if !bytes.Equal(got, before.Bytes()) {
+			return fmt.Errorf("verify: %s solutions diverged from pre-crash baseline:\n before %s\n after  %s",
+				wl.Name, before.Bytes(), got)
+		}
+		want, err := localTruth(workload{name: wl.Name, bench: wl.Bench, tests: wl.Tests}, st.K)
+		if err != nil {
+			return err
+		}
+		if string(got) != want {
+			return fmt.Errorf("verify: %s solutions diverged from local baseline:\n local %s\n after %s",
+				wl.Name, want, got)
+		}
+	}
+	hits1, err := fetchMetric(cfg.addr, "diag_pool_hits_total")
+	if err != nil {
+		return err
+	}
+	if hits1-hits0 < int64(len(st.Workloads)) {
+		return fmt.Errorf("verify: warm hit rate too low: %d hits for %d replayed requests",
+			hits1-hits0, len(st.Workloads))
+	}
+	replayed, err := fetchMetric(cfg.addr, "diag_replay_sessions_total")
+	if err != nil {
+		return err
+	}
+	if replayed < 1 {
+		return fmt.Errorf("verify: diag_replay_sessions_total=%d — did the server boot with -journal-dir?", replayed)
+	}
+	fmt.Fprintf(cfg.out, "restart verify ok: %d/%d sessions warm after crash (replayed=%d, pool hits +%d), solutions byte-identical\n",
+		len(st.Workloads), len(st.Workloads), replayed, hits1-hits0)
 	return nil
 }
 

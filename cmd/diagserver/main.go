@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -69,7 +70,15 @@ func main() {
 			"deterministic failpoint seed (default from DIAG_FAILPOINT_SEED)")
 		debugAddr = flag.String("debug-addr", "",
 			"separate listener for /debug/pprof (empty = profiling disabled)")
-		logLevel = flag.String("log-level", "info", "structured request-log level (debug, info, warn, error)")
+		logLevel   = flag.String("log-level", "info", "structured request-log level (debug, info, warn, error)")
+		journalDir = flag.String("journal-dir", os.Getenv("DIAG_JOURNAL_DIR"),
+			"session-journal directory: warm pool survives restarts via replay (empty = no persistence)")
+		journalFsync = flag.String("journal-fsync", "interval",
+			"journal fsync policy: always (per record), interval (background), off")
+		journalSegMB = flag.Int64("journal-segment-mb", 64,
+			"journal segment rotation threshold in MiB (compaction snapshots the live roster)")
+		replayWorkers = flag.Int("replay-workers", service.DefaultReplayWorkers,
+			"parallel session rebuilds during startup replay")
 	)
 	flag.Parse()
 
@@ -86,6 +95,29 @@ func main() {
 		log.Printf("failpoints armed: %s (seed %d)", *failpoints, *fpSeed)
 	}
 
+	// Open the session journal before the server exists: its folded state
+	// decides whether the server boots warming (503 until replay ends).
+	var (
+		jw  *journal.Writer
+		jst *journal.State
+	)
+	if *journalDir != "" {
+		policy, err := journal.ParsePolicy(*journalFsync)
+		if err != nil {
+			log.Fatalf("-journal-fsync: %v", err)
+		}
+		jw, jst, err = journal.Open(journal.Options{
+			Dir:          *journalDir,
+			Fsync:        policy,
+			SegmentBytes: *journalSegMB << 20,
+		})
+		if err != nil {
+			log.Fatalf("-journal-dir %s: %v", *journalDir, err)
+		}
+		log.Printf("journal open: %s (%d sessions, %d records, %d corrupt skipped, torn tail %dB, sealed=%t)",
+			*journalDir, len(jst.Sessions), jst.Records, jst.Skipped, jst.TornTailBytes, jst.Sealed)
+	}
+
 	srv := service.NewServer(service.Options{
 		Pool: service.PoolOptions{
 			MaxBytes:    *poolMB << 20,
@@ -97,8 +129,10 @@ func main() {
 			DefaultTimeout: *defTO,
 			MaxTimeout:     *maxTO,
 		},
-		Portfolio: *portfolio,
-		Logger:    logger,
+		Portfolio:     *portfolio,
+		Logger:        logger,
+		Journal:       jw,
+		ReplayPending: jw != nil && len(jst.Sessions) > 0,
 	})
 	if *portfolio {
 		log.Printf("portfolio racing enabled")
@@ -127,6 +161,17 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("diagserver listening on %s (workers=%d queue=%d pool=%dMiB)",
 		*addr, srv.Sched().Workers(), *queue, *poolMB)
+
+	if jw != nil {
+		// Replay behind the live listener: /healthz answers 503 "warming"
+		// until the warm pool is rebuilt, /livez answers 200 throughout,
+		// and requests that race the replay simply cold-build.
+		go func() {
+			rep := srv.Replay(jst, *replayWorkers)
+			log.Printf("replay done: %d sessions warm, %d skipped, %d tests, %v",
+				rep.Sessions, rep.Skipped, rep.Tests, rep.Elapsed.Round(time.Millisecond))
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,332 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/failpoint"
+	"repro/internal/journal"
+	"repro/internal/service"
+)
+
+// openJournal opens (or reopens) a journal directory for a test server.
+func openJournal(t *testing.T, dir string) (*journal.Writer, *journal.State) {
+	t.Helper()
+	jw, st, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("journal open: %v", err)
+	}
+	return jw, st
+}
+
+func newJournaledServer(t *testing.T, jw *journal.Writer, pending bool, pool service.PoolOptions) (*service.Server, *httptest.Server) {
+	t.Helper()
+	srv := service.NewServer(service.Options{
+		Pool:          pool,
+		Scheduler:     service.SchedulerOptions{Workers: 4, Queue: 64},
+		Journal:       jw,
+		ReplayPending: pending,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestJournalCrashReplayServesByteIdentical is the crash-equivalence
+// property in-process: build warm state (including an incremental
+// edit), crash without sealing, replay from the journal, and require
+// the restarted pool to serve byte-identical solutions as warm hits
+// with zero re-encoded copies.
+func TestJournalCrashReplayServesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jw, st0 := openJournal(t, dir)
+	if len(st0.Sessions) != 0 {
+		t.Fatalf("fresh journal not empty: %+v", st0)
+	}
+	_, tsA := newJournaledServer(t, jw, false, service.PoolOptions{})
+
+	c1, tests1 := scenario(t, 300, 5)
+	c2, tests2 := scenario(t, 340, 4)
+	b1, b2 := benchText(t, c1), benchText(t, c2)
+
+	r1 := diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: b1, Tests: testJSON(tests1), K: 2})
+	diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: b2, Tests: testJSON(tests2), K: 2})
+	// Incremental edit on session 1: retract the first test. The journal
+	// must fold this delta so the replayed session carries the edited
+	// set, not the original.
+	code, incBase := post[service.DiagnoseResponse](t, tsA.URL+"/sessions/"+r1.Session+"/tests",
+		service.SessionTestsRequest{Remove: []int{0}})
+	if code != http.StatusOK {
+		t.Fatalf("incremental edit -> %d", code)
+	}
+	warmBase := diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: b2, Tests: testJSON(tests2), K: 2})
+	if !warmBase.PoolHit {
+		t.Fatal("second diagnosis of c2 was not warm")
+	}
+
+	// Crash: stop serving and drop the writer without a seal record.
+	tsA.Close()
+	jw.Close()
+
+	jw2, st := openJournal(t, dir)
+	defer jw2.Close()
+	if st.Sealed {
+		t.Fatal("unsealed log read back as sealed")
+	}
+	if len(st.Sessions) != 2 {
+		t.Fatalf("journal roster: got %d sessions, want 2: %+v", len(st.Sessions), st.Sessions)
+	}
+	srvB, tsB := newJournaledServer(t, jw2, true, service.PoolOptions{})
+
+	// Warming regression: not-ready (503 warming) until replay finishes,
+	// while liveness stays 200.
+	if code, h := getHealth(t, tsB.URL); code != http.StatusServiceUnavailable || h.Status != "warming" || !h.Live {
+		t.Fatalf("healthz during replay: code=%d %+v, want 503 warming live", code, h)
+	}
+	if resp, err := http.Get(tsB.URL + "/livez"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("livez during replay: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	rep := srvB.Replay(st, 2)
+	if rep.Sessions != 2 || rep.Skipped != 0 {
+		t.Fatalf("replay: %+v, want 2 sessions 0 skipped", rep)
+	}
+	if code, h := getHealth(t, tsB.URL); code != http.StatusOK || !h.Ready || h.Warming {
+		t.Fatalf("healthz after replay: code=%d %+v, want 200 ready", code, h)
+	}
+
+	// Re-sent request on the replayed pool: warm hit, nothing re-encoded,
+	// solutions byte-identical to the pre-crash baseline.
+	after := diagnose(t, tsB.URL, service.DiagnoseRequest{Bench: b2, Tests: testJSON(tests2), K: 2})
+	if !after.PoolHit {
+		t.Fatal("replayed session did not serve a warm hit")
+	}
+	if after.NewCopies != 0 {
+		t.Fatalf("replayed session re-encoded %d copies, want 0", after.NewCopies)
+	}
+	if got, want := mustJSON(t, after.Solutions), mustJSON(t, warmBase.Solutions); got != want {
+		t.Fatalf("replayed solutions differ:\n got %s\nwant %s", got, want)
+	}
+
+	// The replayed session 1 must carry the post-edit active set and the
+	// pre-crash run's K as incremental defaults: a no-op edit re-runs the
+	// edited set and must reproduce the incremental baseline bytes.
+	parsed1, err := circuit.ParseBench("t", strings.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1 := service.SessionKey(service.Fingerprint(parsed1), service.FaultModel{Encoding: cnf.SeqCounter})
+	var id1 string
+	for _, info := range srvB.Pool().Snapshot() {
+		if info.Key == key1 {
+			id1 = info.ID
+		}
+	}
+	if id1 == "" {
+		t.Fatalf("session for key %s not replayed", key1)
+	}
+	code, incAfter := post[service.DiagnoseResponse](t, tsB.URL+"/sessions/"+id1+"/tests",
+		service.SessionTestsRequest{})
+	if code != http.StatusOK {
+		t.Fatalf("incremental on replayed session -> %d", code)
+	}
+	if incAfter.NewCopies != 0 {
+		t.Fatalf("replayed incremental re-encoded %d copies, want 0", incAfter.NewCopies)
+	}
+	if got, want := mustJSON(t, incAfter.Solutions), mustJSON(t, incBase.Solutions); got != want {
+		t.Fatalf("replayed incremental solutions differ:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestReplayBoundedByLiveRoster: evictions write SessionEvicted, so the
+// folded roster — and therefore replay cost — is bounded by the live
+// pool, not by journal length.
+func TestReplayBoundedByLiveRoster(t *testing.T) {
+	dir := t.TempDir()
+	jw, _ := openJournal(t, dir)
+	small := service.PoolOptions{MaxSessions: 2}
+	_, tsA := newJournaledServer(t, jw, false, small)
+
+	for i := int64(0); i < 4; i++ {
+		c, tests := scenario(t, 400+40*i, 3)
+		diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: benchText(t, c), Tests: testJSON(tests), K: 2})
+	}
+	tsA.Close()
+	jw.Close()
+
+	jw2, st := openJournal(t, dir)
+	defer jw2.Close()
+	if len(st.Sessions) != 2 {
+		t.Fatalf("folded roster has %d sessions, want 2 (evicted sessions must not replay): %+v",
+			len(st.Sessions), st.Sessions)
+	}
+	srvB, _ := newJournaledServer(t, jw2, true, small)
+	rep := srvB.Replay(st, 2)
+	if rep.Sessions != 2 {
+		t.Fatalf("replay rebuilt %d sessions, want 2: %+v", rep.Sessions, rep)
+	}
+	if got := srvB.Pool().Len(); got != 2 {
+		t.Fatalf("pool after replay: %d sessions, want 2", got)
+	}
+}
+
+// TestDrainSealsJournal: graceful shutdown writes the clean-shutdown
+// seal, and a sealed log replays without tail repair.
+func TestDrainSealsJournal(t *testing.T) {
+	dir := t.TempDir()
+	jw, _ := openJournal(t, dir)
+	srvA, tsA := newJournaledServer(t, jw, false, service.PoolOptions{})
+	c, tests := scenario(t, 500, 4)
+	diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: benchText(t, c), Tests: testJSON(tests), K: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srvA.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	tsA.Close()
+
+	jw2, st := openJournal(t, dir)
+	defer jw2.Close()
+	if !st.Sealed {
+		t.Fatal("drained journal not sealed")
+	}
+	if st.TornTailBytes != 0 || st.Skipped != 0 {
+		t.Fatalf("sealed log reported damage: %+v", st)
+	}
+	if len(st.Sessions) != 1 {
+		t.Fatalf("sealed roster: %+v", st.Sessions)
+	}
+}
+
+// TestReplayCorruptedJournalBootsWithSkips: a flipped byte mid-log and
+// trailing garbage must not stop the boot — the corrupt record is
+// skipped with the counter > 0, the torn tail truncated, and the
+// surviving sessions replay and serve warm.
+func TestReplayCorruptedJournalBootsWithSkips(t *testing.T) {
+	dir := t.TempDir()
+	jw, _ := openJournal(t, dir)
+	_, tsA := newJournaledServer(t, jw, false, service.PoolOptions{})
+	c1, tests1 := scenario(t, 600, 4)
+	c2, tests2 := scenario(t, 640, 4)
+	b2 := benchText(t, c2)
+	diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: benchText(t, c1), Tests: testJSON(tests1), K: 2})
+	diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: b2, Tests: testJSON(tests2), K: 2})
+	tsA.Close()
+	jw.Close()
+
+	seg := filepath.Join(dir, "diag-00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the first record (c1's session-built) and
+	// append garbage that never resolves into a frame (a torn tail).
+	data[14] ^= 0xFF
+	data = append(data, []byte("crash left this half-written tail")...)
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jw2, st := openJournal(t, dir)
+	defer jw2.Close()
+	if st.Skipped == 0 {
+		t.Fatalf("corrupt record not counted: %+v", st)
+	}
+	if st.TornTailBytes == 0 {
+		t.Fatalf("torn tail not detected: %+v", st)
+	}
+	if len(st.Sessions) != 1 {
+		t.Fatalf("surviving roster: got %d sessions, want 1 (c2): %+v", len(st.Sessions), st.Sessions)
+	}
+	srvB, tsB := newJournaledServer(t, jw2, true, service.PoolOptions{})
+	rep := srvB.Replay(st, 2)
+	if rep.Sessions != 1 {
+		t.Fatalf("replay after corruption: %+v", rep)
+	}
+	after := diagnose(t, tsB.URL, service.DiagnoseRequest{Bench: b2, Tests: testJSON(tests2), K: 2})
+	if !after.PoolHit || after.NewCopies != 0 {
+		t.Fatalf("surviving session not warm after corrupted-boot replay: %+v", after)
+	}
+}
+
+// TestReplayFailpointSkipsSessionNotBoot: an injected journal/replay
+// failure skips the session (counted) instead of aborting the boot, and
+// the server still serves that circuit via a cold rebuild.
+func TestReplayFailpointSkipsSessionNotBoot(t *testing.T) {
+	dir := t.TempDir()
+	jw, _ := openJournal(t, dir)
+	_, tsA := newJournaledServer(t, jw, false, service.PoolOptions{})
+	c, tests := scenario(t, 700, 4)
+	b := benchText(t, c)
+	diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: b, Tests: testJSON(tests), K: 2})
+	tsA.Close()
+	jw.Close()
+
+	jw2, st := openJournal(t, dir)
+	defer jw2.Close()
+	if len(st.Sessions) != 1 {
+		t.Fatalf("roster: %+v", st.Sessions)
+	}
+	if err := failpoint.Enable("journal/replay=error(1)x4", 1); err != nil {
+		t.Fatal(err)
+	}
+	srvB, tsB := newJournaledServer(t, jw2, true, service.PoolOptions{})
+	rep := srvB.Replay(st, 1)
+	failpoint.Disable()
+	if rep.Sessions != 0 || rep.Skipped != 1 {
+		t.Fatalf("failpoint replay: %+v, want 0 sessions 1 skipped", rep)
+	}
+	if code, h := getHealth(t, tsB.URL); code != http.StatusOK || !h.Ready {
+		t.Fatalf("server not ready after skipped replay: %d %+v", code, h)
+	}
+	resp := diagnose(t, tsB.URL, service.DiagnoseRequest{Bench: b, Tests: testJSON(tests), K: 2})
+	if resp.PoolHit || !resp.Complete {
+		t.Fatalf("cold rebuild after skipped replay: %+v", resp)
+	}
+}
+
+// TestJournalDegradedModeKeepsServing: an injected append failure flips
+// the journal into disabled-degraded mode; requests keep succeeding and
+// /healthz reports degraded while staying ready.
+func TestJournalDegradedModeKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	jw, _ := openJournal(t, dir)
+	_, tsA := newJournaledServer(t, jw, false, service.PoolOptions{})
+	defer jw.Close()
+
+	if err := failpoint.Enable("journal/append=error(1)x1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable()
+	c, tests := scenario(t, 800, 4)
+	resp := diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: benchText(t, c), Tests: testJSON(tests), K: 2})
+	if !resp.Complete {
+		t.Fatalf("request failed under journal degradation: %+v", resp)
+	}
+	if !jw.Degraded() {
+		t.Fatal("journal not degraded after injected append failure")
+	}
+	code, h := getHealth(t, tsA.URL)
+	if code != http.StatusOK || !h.Ready {
+		t.Fatalf("degraded journal must not flip readiness: %d %+v", code, h)
+	}
+	if h.Status != "degraded" || !h.JournalDegraded {
+		t.Fatalf("healthz must surface journal degradation: %+v", h)
+	}
+	// Serving continues past the first failure.
+	resp2 := diagnose(t, tsA.URL, service.DiagnoseRequest{Bench: benchText(t, c), Tests: testJSON(tests), K: 2})
+	if !resp2.PoolHit {
+		t.Fatalf("warm serving stopped after journal degradation: %+v", resp2)
+	}
+}

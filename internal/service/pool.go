@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 )
 
@@ -21,6 +22,10 @@ type PoolOptions struct {
 	MaxBytes int64
 	// MaxSessions bounds the number of warm sessions (0 = 64).
 	MaxSessions int
+	// Journal, when non-nil, receives the pool's session lifecycle
+	// records (build, test-set deltas, eviction) so a restarted server
+	// can replay its warm state. nil disables persistence.
+	Journal *journal.Writer
 }
 
 // DefaultMaxBytes is the default pool size budget.
@@ -43,6 +48,7 @@ const DefaultMaxSessions = 64
 type SessionPool struct {
 	mu         sync.Mutex
 	opts       PoolOptions
+	jw         *journal.Writer // nil when persistence is disabled
 	byKey      map[string]*PoolEntry
 	byID       map[string]*PoolEntry
 	lru        *list.List // front = most recently used
@@ -68,6 +74,7 @@ func NewSessionPool(opts PoolOptions) *SessionPool {
 	}
 	return &SessionPool{
 		opts:  opts,
+		jw:    opts.Journal,
 		byKey: make(map[string]*PoolEntry),
 		byID:  make(map[string]*PoolEntry),
 		lru:   list.New(),
@@ -105,6 +112,25 @@ type PoolEntry struct {
 	// defaults.
 	lastSpec RunSpec
 
+	// Journal mirror, guarded by pool.mu: the session's durable
+	// identity (self-contained bench text + fingerprint, set once at
+	// build publish) and the live test-set/K the last run left behind —
+	// exactly what a compaction snapshot must emit for this session. An
+	// empty jbench means the session is not journalable (e.g. its
+	// circuit cannot be rendered as .bench text) and is skipped.
+	jbench string
+	jfp    string
+	jtests []journal.TestRec
+	jk     int
+	// Staging area for journal records produced inside Run's fn (under
+	// runMu): Run's post-accounting applies them under pool.mu, the
+	// journal's serialization point, so a compaction snapshot can never
+	// interleave with a half-applied delta.
+	jstaged      []journal.Record
+	jstagedTests []journal.TestRec
+	jstagedK     int
+	jstagedSet   bool
+
 	// Guarded by pool.mu.
 	bytes    int64
 	elem     *list.Element
@@ -129,12 +155,16 @@ func (e *PoolEntry) Key() string { return e.key }
 func (e *PoolEntry) Circuit() *circuit.Circuit { return e.circ }
 
 // Built is what a pool builder returns: the warm session and its
-// identity.
+// identity. Source and Fingerprint feed the journal: Source is the
+// circuit as self-contained .bench text (empty = don't journal this
+// session), Fingerprint its structural hash for replay verification.
 type Built struct {
-	Session *cnf.DiagSession
-	Circuit *circuit.Circuit
-	Model   FaultModel
-	MaxK    int
+	Session     *cnf.DiagSession
+	Circuit     *circuit.Circuit
+	Model       FaultModel
+	MaxK        int
+	Source      string
+	Fingerprint string
 }
 
 // Acquire outcomes reported by AcquireDetail, in the vocabulary the
@@ -208,6 +238,11 @@ func (p *SessionPool) AcquireDetail(key string, build func() (Built, error)) (e 
 			e.statsSnap = snap
 			e.bytes = sessionBytes(snap)
 			p.totalBytes += e.bytes
+			if built.Source != "" {
+				e.jbench = built.Source
+				e.jfp = built.Fingerprint
+				p.journalLocked(e.builtRecordLocked())
+			}
 			p.evictLocked(e)
 			p.updateGaugesLocked()
 			p.mu.Unlock()
@@ -298,6 +333,21 @@ func (e *PoolEntry) Run(fn func(sess *cnf.DiagSession, circ *circuit.Circuit) er
 	e.lastUsed = time.Now()
 	delta := sessionBytes(snap) - e.bytes
 	e.bytes += delta
+	// Apply the fn's staged journal records under pool.mu (the journal's
+	// serialization point). An entry evicted while pinned is already out
+	// of the roster — its session-evicted record is on the log, so late
+	// deltas for it are dropped rather than resurrecting the key.
+	if e.jstagedSet || len(e.jstaged) > 0 {
+		if !e.evicted {
+			if e.jstagedSet {
+				e.jtests, e.jk = e.jstagedTests, e.jstagedK
+			}
+			for _, rec := range e.jstaged {
+				p.journalLocked(rec)
+			}
+		}
+		e.jstaged, e.jstagedTests, e.jstagedSet = nil, nil, false
+	}
 	if !e.evicted {
 		p.totalBytes += delta
 		p.evictLocked(e)
@@ -323,6 +373,22 @@ func (e *PoolEntry) rebuild(sess *cnf.DiagSession, maxK int) {
 	e.maxK = maxK
 	p.mu.Unlock()
 	p.Rebuilds.Inc()
+	// A rebuild journals as a fresh build: the old session's test copies
+	// are gone, so the fold must start the key over. The caller's
+	// subsequent test-set staging restores the live set on the log.
+	if p.jw != nil && e.jbench != "" {
+		e.jstaged = append(e.jstaged, journal.Record{
+			Type:        journal.TypeSessionBuilt,
+			Key:         e.key,
+			Fingerprint: e.jfp,
+			Bench:       e.jbench,
+			Encoding:    e.model.Encoding.String(),
+			ForceZero:   e.model.ForceZero,
+			ConeOnly:    e.model.ConeOnly,
+			MaxK:        maxK,
+		})
+		e.jstagedTests, e.jstagedK, e.jstagedSet = nil, 0, true
+	}
 }
 
 // evictLocked drops idle least-recently-used entries until the pool is
@@ -347,7 +413,10 @@ func (p *SessionPool) evictLocked(keep *PoolEntry) {
 	}
 }
 
-// dropLocked removes an entry from the maps and accounting.
+// dropLocked removes an entry from the maps and accounting. Journaled
+// sessions leave a SessionEvicted record so replay never rebuilds dead
+// sessions — replay cost stays bounded by the live roster, not journal
+// length.
 func (p *SessionPool) dropLocked(e *PoolEntry) {
 	if e.evicted {
 		return
@@ -357,6 +426,9 @@ func (p *SessionPool) dropLocked(e *PoolEntry) {
 	delete(p.byID, e.id)
 	p.lru.Remove(e.elem)
 	p.totalBytes -= e.bytes
+	if e.jbench != "" && e.sess != nil {
+		p.journalLocked(journal.Record{Type: journal.TypeSessionEvicted, Key: e.key})
+	}
 }
 
 func (p *SessionPool) updateGaugesLocked() {
@@ -371,6 +443,153 @@ func (p *SessionPool) updateGaugesLocked() {
 // proportional for LRU accounting to be meaningful.
 func sessionBytes(st cnf.SessionStats) int64 {
 	return int64(st.Vars)*64 + int64(st.Clauses)*48
+}
+
+// journalLocked appends one record to the pool's journal (no-op when
+// persistence is disabled). Caller holds pool.mu — that lock is the
+// journal's serialization point, so when the append crosses a segment
+// boundary the compaction snapshot taken here is atomic with respect to
+// every other pool delta.
+func (p *SessionPool) journalLocked(rec journal.Record) {
+	if p.jw == nil {
+		return
+	}
+	if p.jw.Append(rec) {
+		p.jw.Compact(p.rosterLocked())
+	}
+}
+
+// builtRecordLocked renders the entry's SessionBuilt record. Caller
+// holds pool.mu.
+func (e *PoolEntry) builtRecordLocked() journal.Record {
+	return journal.Record{
+		Type:        journal.TypeSessionBuilt,
+		Key:         e.key,
+		Fingerprint: e.jfp,
+		Bench:       e.jbench,
+		Encoding:    e.model.Encoding.String(),
+		ForceZero:   e.model.ForceZero,
+		ConeOnly:    e.model.ConeOnly,
+		MaxK:        e.maxK,
+	}
+}
+
+// rosterLocked snapshots the live roster as journal records, least
+// recently used first so the fold's recency order matches the pool's
+// LRU order. Caller holds pool.mu.
+func (p *SessionPool) rosterLocked() []journal.Record {
+	var out []journal.Record
+	for el := p.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*PoolEntry)
+		if e.evicted || e.sess == nil || e.jbench == "" {
+			continue
+		}
+		out = append(out, e.builtRecordLocked())
+		if len(e.jtests) > 0 {
+			out = append(out, journal.Record{
+				Type:  journal.TypeTestsAdded,
+				Key:   e.key,
+				Reset: true,
+				Tests: e.jtests,
+				K:     e.jk,
+			})
+		}
+	}
+	return out
+}
+
+// CompactJournal snapshots the live roster into a fresh journal segment
+// and drops older history (no-op without a journal). Called after a
+// startup replay so the re-journaled rebuilds don't double the log.
+func (p *SessionPool) CompactJournal() {
+	if p.jw == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jw.Compact(p.rosterLocked())
+}
+
+// Promote moves a pinned entry to the most-recently-used position —
+// replay uses it to restore the journaled recency order after building
+// sessions in parallel.
+func (p *SessionPool) Promote(e *PoolEntry) {
+	p.mu.Lock()
+	if !e.evicted {
+		p.lru.MoveToFront(e.elem)
+	}
+	p.mu.Unlock()
+}
+
+// Budgets returns the pool's byte and session bounds (replay stops
+// rebuilding once the budget is reached).
+func (p *SessionPool) Budgets() (maxBytes int64, maxSessions int) {
+	return p.opts.MaxBytes, p.opts.MaxSessions
+}
+
+// stageJournalReset stages a full test-set replacement (a /diagnose
+// activation) for the post-run journal append. Caller holds runMu via
+// Run's fn.
+func (e *PoolEntry) stageJournalReset(tests circuit.TestSet, k int) {
+	if e.pool.jw == nil || e.jbench == "" {
+		return
+	}
+	recs := toTestRecs(tests)
+	e.jstaged = append(e.jstaged, journal.Record{
+		Type:  journal.TypeTestsAdded,
+		Key:   e.key,
+		Reset: true,
+		Tests: recs,
+		K:     k,
+	})
+	e.jstagedTests, e.jstagedK, e.jstagedSet = recs, k, true
+}
+
+// stageJournalEdit stages an incremental retract+append edit; full is
+// the resulting live test-set (the roster mirror). Caller holds runMu.
+func (e *PoolEntry) stageJournalEdit(removed []int, add circuit.TestSet, full []journal.TestRec, k int) {
+	if e.pool.jw == nil || e.jbench == "" {
+		return
+	}
+	if len(removed) > 0 {
+		e.jstaged = append(e.jstaged, journal.Record{
+			Type:    journal.TypeTestsRetracted,
+			Key:     e.key,
+			Removed: append([]int(nil), removed...),
+		})
+	}
+	e.jstaged = append(e.jstaged, journal.Record{
+		Type:  journal.TypeTestsAdded,
+		Key:   e.key,
+		Tests: toTestRecs(add),
+		K:     k,
+	})
+	e.jstagedTests, e.jstagedK, e.jstagedSet = full, k, true
+}
+
+// toTestRec converts one test to its journal wire form (vector as a 0/1
+// string, one character per primary input).
+func toTestRec(t circuit.Test) journal.TestRec {
+	b := make([]byte, len(t.Vector))
+	for i, v := range t.Vector {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return journal.TestRec{Vector: string(b), Output: t.Output, Want: t.Want}
+}
+
+func toTestRecs(tests circuit.TestSet) []journal.TestRec {
+	if len(tests) == 0 {
+		return nil
+	}
+	out := make([]journal.TestRec, len(tests))
+	for i, t := range tests {
+		out[i] = toTestRec(t)
+	}
+	return out
 }
 
 // EntryInfo is a point-in-time public view of one pooled session.

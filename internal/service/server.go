@@ -18,6 +18,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/faults"
 	"repro/internal/gen"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/sat"
 	"repro/internal/tgen"
@@ -67,6 +68,15 @@ type Options struct {
 	// TraceStore bounds how many completed request traces are retained
 	// for GET /debug/diag/trace (0 = DefaultTraceStoreSize).
 	TraceStore int
+
+	// Journal, when non-nil, makes the warm pool durable: session
+	// lifecycle records are appended to it and Drain seals it. nil
+	// disables persistence (tests, embedders without a -journal-dir).
+	Journal *journal.Writer
+
+	// ReplayPending starts the server in the warming state: /healthz
+	// answers 503 not-ready until Replay is called and completes.
+	ReplayPending bool
 }
 
 // Server is the diagnosis service: session pool + scheduler + the JSON
@@ -104,6 +114,20 @@ type Server struct {
 	// feeding the /healthz degraded window.
 	lastPanic    atomic.Int64
 	lastDegraded atomic.Int64
+
+	// Durability state (nil journal = persistence disabled). warming is
+	// true from construction with ReplayPending until Replay completes;
+	// /healthz reports 503 not-ready meanwhile. replaySt retains the
+	// journal state the boot replayed, for /metrics.
+	journal  *journal.Writer
+	warming  atomic.Bool
+	replaySt atomic.Pointer[journal.State]
+
+	// Replay counters (diag_replay_*).
+	replaySessions metrics.Counter // sessions rebuilt into the pool
+	replaySkipped  metrics.Counter // sessions skipped (corrupt, failpoint, budget)
+	replayTests    metrics.Counter // test copies re-encoded
+	replayMillis   metrics.Gauge   // wall time of the last replay
 }
 
 // NewServer assembles a service instance.
@@ -126,8 +150,10 @@ func NewServer(opts Options) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Server{
-		pool:      NewSessionPool(opts.Pool),
+	poolOpts := opts.Pool
+	poolOpts.Journal = opts.Journal
+	s := &Server{
+		pool:      NewSessionPool(poolOpts),
 		sched:     NewScheduler(opts.Scheduler),
 		start:     time.Now(),
 		portfolio: opts.Portfolio,
@@ -140,7 +166,10 @@ func NewServer(opts Options) *Server {
 		},
 		phases:        phases,
 		portfolioWins: wins,
+		journal:       opts.Journal,
 	}
+	s.warming.Store(opts.ReplayPending)
+	return s
 }
 
 // Pool exposes the session pool (tests and cmd wiring).
@@ -158,6 +187,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/tests", s.handleSessionTests)
 	mux.HandleFunc("GET /sessions", s.handleSessions)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /scenario", s.handleScenario)
 	mux.HandleFunc("GET /debug/diag/trace", s.handleTraceList)
@@ -186,8 +216,15 @@ func (s *Server) notePanic() {
 	s.lastPanic.Store(time.Now().UnixNano())
 }
 
-// Drain stops admission and waits for in-flight requests.
-func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+// Drain stops admission, waits for in-flight requests, then seals the
+// journal: the in-flight appends have landed, so the clean-shutdown
+// record is the true end of the log and the next boot skips torn-tail
+// verification.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.sched.Drain(ctx)
+	s.journal.Seal()
+	return err
+}
 
 // TestJSON is one failing test triple on the wire. Vector is a 0/1
 // string with one character per primary input, in circuit input order.
@@ -648,10 +685,12 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 			maxK = DefaultWarmMaxK
 		}
 		return Built{
-			Session: NewWarmSession(c, model, maxK),
-			Circuit: c,
-			Model:   model,
-			MaxK:    maxK,
+			Session:     NewWarmSession(c, model, maxK),
+			Circuit:     c,
+			Model:       model,
+			MaxK:        maxK,
+			Source:      s.benchSource(c),
+			Fingerprint: fp,
 		}, nil
 	})
 	if poolSpan != nil {
@@ -709,6 +748,21 @@ func (s *Server) serveWarm(ctx context.Context, c *circuit.Circuit, fp string, t
 	resp.events = rep.Events
 	s.annotateFaults(ctx, resp, rep.PerShard, spec.MaxSolutions, spec.MaxConflicts)
 	return resp, nil
+}
+
+// benchSource renders the circuit as self-contained .bench text for the
+// journal. Empty when persistence is off — the render cost is only paid
+// on journaled cold builds — or when the circuit contains constructs
+// .bench cannot express (that session simply isn't journaled).
+func (s *Server) benchSource(c *circuit.Circuit) string {
+	if s.journal == nil {
+		return ""
+	}
+	var sb strings.Builder
+	if err := circuit.WriteBench(&sb, c); err != nil {
+		return ""
+	}
+	return sb.String()
 }
 
 // serveCold bypasses the pool: one monolithic core.Diagnose call.
@@ -974,7 +1028,7 @@ func (s *Server) finish(w http.ResponseWriter, resp *DiagnoseResponse, derr, sch
 // still serving, but worth a look.
 type HealthJSON struct {
 	OK       bool   `json:"ok"`
-	Status   string `json:"status"` // ok | degraded | draining
+	Status   string `json:"status"` // ok | degraded | warming | draining
 	Live     bool   `json:"live"`
 	Ready    bool   `json:"ready"`
 	Degraded bool   `json:"degraded"`
@@ -984,6 +1038,12 @@ type HealthJSON struct {
 	InFlight int64  `json:"inFlight"`
 	Queued   int64  `json:"queued"`
 	Workers  int    `json:"workers"`
+
+	// Warming: warm-pool replay is still running; not-ready (503), but
+	// live. JournalDegraded: the journal disabled itself after an I/O
+	// error; serving continues without persistence.
+	Warming         bool `json:"warming,omitempty"`
+	JournalDegraded bool `json:"journalDegraded,omitempty"`
 
 	PanicsRecovered   int64 `json:"panicsRecovered,omitempty"`
 	DegradedResponses int64 `json:"degradedResponses,omitempty"`
@@ -997,13 +1057,21 @@ func (s *Server) recentlyDegraded() bool {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ready := !s.sched.Draining()
-	degraded := s.recentlyDegraded()
+	warming := s.warming.Load()
+	ready := !s.sched.Draining() && !warming
+	jdeg := s.journal.Degraded()
+	degraded := s.recentlyDegraded() || jdeg
 	status := "ok"
 	code := http.StatusOK
 	switch {
-	case !ready:
+	case s.sched.Draining():
 		status = "draining"
+		code = http.StatusServiceUnavailable
+	case warming:
+		// Not-ready while the warm-pool replay runs — load balancers
+		// hold traffic until the pool is rebuilt. Liveness (GET /livez)
+		// stays 200 throughout.
+		status = "warming"
 		code = http.StatusServiceUnavailable
 	case degraded:
 		status = "degraded"
@@ -1014,16 +1082,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Live:     true,
 		Ready:    ready,
 		Degraded: degraded,
-		UptimeMs: time.Since(s.start).Milliseconds(),
-		Sessions: s.pool.Len(),
-		Bytes:    s.pool.TotalBytes(),
-		InFlight: s.sched.InFlight.Value(),
-		Queued:   s.sched.Queued.Value(),
-		Workers:  s.sched.Workers(),
+
+		Warming:         warming,
+		JournalDegraded: jdeg,
+		UptimeMs:        time.Since(s.start).Milliseconds(),
+		Sessions:        s.pool.Len(),
+		Bytes:           s.pool.TotalBytes(),
+		InFlight:        s.sched.InFlight.Value(),
+		Queued:          s.sched.Queued.Value(),
+		Workers:         s.sched.Workers(),
 
 		PanicsRecovered:   s.panicsRecovered.Value() + s.sched.Panics.Value(),
 		DegradedResponses: s.degradedResponses.Value(),
 	})
+}
+
+// handleLivez is pure process liveness: always 200 while the handler
+// can answer, regardless of warming or draining — the counterpart to
+// /healthz readiness for orchestrators that separate the two probes.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
@@ -1054,6 +1132,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if c := s.portfolioWins[cfg.Name]; c != nil {
 			metrics.WritePromValue(w, "diag_portfolio_wins_total", fmt.Sprintf("config=%q", cfg.Name), c.Value())
 		}
+	}
+	// Durability: journal writer counters plus the outcome of the boot
+	// replay (all zero when persistence is disabled).
+	if s.journal != nil {
+		jst := s.journal.SnapshotStats()
+		metrics.WritePromValue(w, "diag_journal_appends_total", "", jst.Appends)
+		metrics.WritePromValue(w, "diag_journal_appended_bytes_total", "", jst.AppendedBytes)
+		metrics.WritePromValue(w, "diag_journal_syncs_total", "", jst.Syncs)
+		metrics.WritePromValue(w, "diag_journal_rotations_total", "", jst.Rotations)
+		metrics.WritePromValue(w, "diag_journal_compactions_total", "", jst.Compactions)
+		metrics.WritePromValue(w, "diag_journal_dropped_total", "", jst.Dropped)
+		metrics.WritePromValue(w, "diag_journal_degraded", "", bool01(jst.Degraded))
+		metrics.WritePromValue(w, "diag_journal_sealed", "", bool01(jst.Sealed))
+	}
+	metrics.WritePromValue(w, "diag_replay_sessions_total", "", s.replaySessions.Value())
+	metrics.WritePromValue(w, "diag_replay_skipped_total", "", s.replaySkipped.Value())
+	metrics.WritePromValue(w, "diag_replay_tests_total", "", s.replayTests.Value())
+	metrics.WritePromValue(w, "diag_replay_duration_ms", "", s.replayMillis.Value())
+	metrics.WritePromValue(w, "diag_replay_warming", "", bool01(s.warming.Load()))
+	if rs := s.replaySt.Load(); rs != nil {
+		metrics.WritePromValue(w, "diag_replay_journal_records", "", int64(rs.Records))
+		metrics.WritePromValue(w, "diag_replay_corrupt_skipped_total", "", int64(rs.Skipped))
+		metrics.WritePromValue(w, "diag_replay_torn_tail_bytes", "", rs.TornTailBytes)
+		metrics.WritePromValue(w, "diag_replay_sealed_boot", "", bool01(rs.Sealed))
 	}
 	// Queue wait and execution are split at the admission boundary, so
 	// saturation (growing queue wait, flat exec) is distinguishable from
@@ -1150,6 +1252,13 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		Sites:   fs.Sites(),
 		K:       inject,
 	})
+}
+
+func bool01(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func intParam(s string, def int) int {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/journal"
 	"repro/internal/sat"
 	"repro/internal/trace"
 )
@@ -127,6 +128,7 @@ func (e *PoolEntry) Diagnose(ctx context.Context, tests circuit.TestSet, spec Ru
 		active, encoded, encode := e.ensureTests(tests)
 		e.current = active
 		e.lastSpec = spec
+		e.stageJournalReset(tests, spec.K)
 		span.Phase("encode", encode)
 		solver, err := applySolver(sess, spec.Solver)
 		if err != nil {
@@ -219,6 +221,11 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		}
 		e.current = next
 		e.lastSpec = merged
+		full := make([]journal.TestRec, 0, len(next))
+		for _, ci := range next {
+			full = append(full, toTestRec(sess.Tests[ci]))
+		}
+		e.stageJournalEdit(remove, add, full, merged.K)
 		span.Phase("encode", encode)
 		solver, err := applySolver(sess, merged.Solver)
 		if err != nil {
@@ -242,6 +249,25 @@ func (e *PoolEntry) Incremental(ctx context.Context, add circuit.TestSet, remove
 		return nil, nil, err
 	}
 	return rep, activeTests, nil
+}
+
+// Prime restores a replayed session's serving state without running a
+// diagnosis: the journaled live test-set is encoded (repopulating the
+// dedup index so re-sent tests reuse their copies) and installed as the
+// current active set, and k restores the incremental endpoint's default
+// ladder bound. The next request then behaves exactly like a warm
+// request on the pre-crash session.
+func (e *PoolEntry) Prime(tests circuit.TestSet, k int) error {
+	if k < 1 {
+		k = 1
+	}
+	return e.Run(func(*cnf.DiagSession, *circuit.Circuit) error {
+		active, _, _ := e.ensureTests(tests)
+		e.current = active
+		e.lastSpec = RunSpec{K: k}
+		e.stageJournalReset(tests, k)
+		return nil
+	})
 }
 
 // ensureTests encodes any test not yet present and returns the copy
